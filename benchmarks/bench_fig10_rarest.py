@@ -1,0 +1,107 @@
+"""Figure 10 — frequency of the rarest graphlet seen in ≥10 samples.
+
+The paper's most dramatic AGS result: on Yelp naive sampling's rarest
+well-observed graphlet is the star itself (frequency 99.9996%), while
+AGS reliably reaches graphlets with frequency below 10^-21.  The metric:
+among graphlets appearing in at least 10 samples (to filter chance hits),
+the smallest estimated relative frequency.
+
+§5.3's caveat is part of the claim: "On some graphs, AGS is slightly
+worse than naive sampling... AGS is designed for skewed graphlet
+distributions, and loses ground on flatter ones", with the skew measured
+by the ℓ2 norm of the graphlet frequency vector.  Reproduced at k = 5:
+AGS must win by orders of magnitude on the high-ℓ2 (skewed) surrogates
+and is allowed to lose mildly on the flat ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.ags import ags_estimate
+from repro.sampling.estimates import rarest_frequency
+from repro.sampling.naive import naive_estimate
+
+from common import classifier_for, emit, format_table, pipeline
+
+K = 5
+BUDGET = 12_000
+DATASETS = ("amazon", "berkstan", "yelp", "friendster")
+#: The star-dominated surrogates where AGS must win decisively.
+SKEWED = ("berkstan", "yelp")
+
+
+def _measure(dataset: str):
+    counter = pipeline(dataset, K, seed=25)
+    classifier = classifier_for(dataset, K)
+    naive = naive_estimate(
+        counter.urn, classifier, BUDGET, np.random.default_rng(7)
+    )
+    ags = ags_estimate(
+        counter.urn, classifier, BUDGET, cover_threshold=200,
+        rng=np.random.default_rng(8),
+    ).estimates
+    l2 = float(
+        np.sqrt(sum(f * f for f in naive.frequencies().values()))
+    )
+    return (
+        rarest_frequency(naive, min_hits=10),
+        rarest_frequency(ags, min_hits=10),
+        l2,
+    )
+
+
+def test_fig10_rarest_frequency(benchmark):
+    rows = []
+    gains = {}
+    l2_norms = {}
+    for dataset in DATASETS:
+        naive_rarest, ags_rarest, l2 = _measure(dataset)
+        assert ags_rarest is not None
+        gain = (
+            naive_rarest / ags_rarest
+            if naive_rarest is not None
+            else float("inf")
+        )
+        gains[dataset] = gain
+        l2_norms[dataset] = l2
+        rows.append(
+            (
+                dataset,
+                f"{l2:.3f}",
+                f"{naive_rarest:.2e}" if naive_rarest is not None else "-",
+                f"{ags_rarest:.2e}",
+                f"{gain:,.1f}x" if gain != float("inf") else "inf",
+            )
+        )
+    emit(
+        "fig10_rarest",
+        format_table(
+            [
+                "dataset", "l2 norm", "naive rarest freq",
+                "ags rarest freq", "gain",
+            ],
+            rows,
+        ),
+    )
+
+    # The skewed (high-l2) surrogates: AGS reaches far rarer graphlets.
+    for dataset in SKEWED:
+        assert gains[dataset] > 50, dataset
+    # §5.3's sanity check: the AGS-favoring datasets have the higher l2.
+    assert min(l2_norms[d] for d in SKEWED) > max(
+        l2_norms[d] for d in DATASETS if d not in SKEWED
+    )
+    # On flat graphs AGS may lose, but only mildly (same order).
+    for dataset in DATASETS:
+        if dataset not in SKEWED and gains[dataset] != float("inf"):
+            assert gains[dataset] > 0.1, dataset
+
+    counter = pipeline("yelp", K, seed=25)
+    classifier = classifier_for("yelp", K)
+    rng = np.random.default_rng(9)
+    benchmark.pedantic(
+        lambda: naive_estimate(counter.urn, classifier, 400, rng),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,78 @@
+"""Figure 7 — predictability: build time per million edges, bits per node.
+
+The paper emphasizes that motivo's cost is predictable as a function of
+m and k: the left panel plots build seconds per million edges, the right
+panel table bits per input node, both against k for several datasets.
+Reproduced across four surrogates and k = 4..7: within one dataset both
+normalized quantities must grow with k (the paper's exponential-in-k
+trend), and the per-edge times of different datasets at fixed k must
+stay within an order of magnitude of each other (predictability).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.coloring import ColoringScheme
+from repro.graph.datasets import load_dataset
+from repro.table.count_table import PAPER_BITS_PER_PAIR
+
+from common import emit, format_table
+
+DATASETS = ("facebook", "berkstan", "livejournal", "twitter")
+KS = (4, 5, 6, 7)
+
+
+def _measure(dataset: str, k: int):
+    graph = load_dataset(dataset)
+    coloring = ColoringScheme.uniform(graph.num_vertices, k, rng=19)
+    start = time.perf_counter()
+    table = build_table(graph, coloring)
+    seconds = time.perf_counter() - start
+    per_medge = seconds / (graph.num_edges / 1e6)
+    bits_per_node = (
+        table.total_pairs() * PAPER_BITS_PER_PAIR / graph.num_vertices
+    )
+    return per_medge, bits_per_node
+
+
+def test_fig7_scaling(benchmark):
+    rows = []
+    series = {}
+    for dataset in DATASETS:
+        for k in KS:
+            per_medge, bits_per_node = _measure(dataset, k)
+            series.setdefault(dataset, []).append((per_medge, bits_per_node))
+            rows.append(
+                (
+                    dataset,
+                    k,
+                    f"{per_medge:.2f}",
+                    f"{bits_per_node:,.0f}",
+                )
+            )
+    emit(
+        "fig7_scaling",
+        format_table(
+            ["dataset", "k", "s per Medge", "bits per node"], rows
+        ),
+    )
+
+    for dataset, points in series.items():
+        bits = [b for _t, b in points]
+        # Right panel: space per node grows monotonically with k.
+        assert bits == sorted(bits), dataset
+        # Left panel: time per edge grows from k=4 to k=7.
+        assert points[-1][0] > points[0][0], dataset
+
+    # Predictability: per-edge build times at k=6 agree across datasets
+    # within an order of magnitude.
+    at_k6 = [points[KS.index(6)][0] for points in series.values()]
+    assert max(at_k6) / min(at_k6) < 12
+
+    graph = load_dataset("twitter")
+    coloring = ColoringScheme.uniform(graph.num_vertices, 6, rng=19)
+    benchmark(build_table, graph, coloring)

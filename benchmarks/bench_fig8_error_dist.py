@@ -1,0 +1,115 @@
+"""Figure 8 — per-graphlet count error distribution, naive vs AGS.
+
+The paper plots histograms of err_H = (ĉ_H − c_H)/c_H for naive sampling
+(top row) and AGS (bottom row) on amazon/friendster/yelp at k = 6, 7, 8.
+Two regimes matter:
+
+* flat-ish graphs (amazon): both samplers are accurate, errors centered;
+* skewed graphs (yelp): naive sampling *misses* most graphlets (err = −1
+  spikes), AGS recovers them.
+
+Reproduced at k = 5 with exact ESU truth on amazon and the paper-style
+combined naive+AGS averaged reference on yelp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.ags import ags_estimate
+from repro.sampling.estimates import count_errors
+from repro.sampling.naive import naive_estimate
+
+from common import (
+    classifier_for,
+    combined_reference_truth,
+    emit,
+    exact_truth,
+    format_table,
+    pipeline,
+    truth_dict,
+)
+
+K = 5
+BUDGET = 12_000
+
+
+def _histogram_text(errors) -> str:
+    edges = np.linspace(-1.0, 1.0, 9)
+    clipped = np.clip(list(errors), -1.0, 1.0)
+    counts, _ = np.histogram(clipped, bins=edges)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for lo, hi, count in zip(edges, edges[1:], counts):
+        lines.append(
+            f"  [{lo:+.2f},{hi:+.2f}) {'#' * int(30 * count / peak)} {count}"
+        )
+    return "\n".join(lines)
+
+
+def _errors_for(dataset: str, truth):
+    counter = pipeline(dataset, K, seed=21)
+    classifier = classifier_for(dataset, K)
+    naive = naive_estimate(
+        counter.urn, classifier, BUDGET, np.random.default_rng(1)
+    )
+    ags = ags_estimate(
+        counter.urn, classifier, BUDGET, cover_threshold=200,
+        rng=np.random.default_rng(2),
+    ).estimates
+    return count_errors(naive, truth), count_errors(ags, truth)
+
+
+def test_fig8_error_distribution(benchmark):
+    sections = []
+    summary_rows = []
+    for dataset, truth in (
+        ("amazon", truth_dict(exact_truth("amazon", K))),
+        ("yelp", truth_dict(combined_reference_truth("yelp", K))),
+    ):
+        naive_errors, ags_errors = _errors_for(dataset, truth)
+        naive_missed = sum(1 for e in naive_errors.values() if e == -1.0)
+        ags_missed = sum(1 for e in ags_errors.values() if e == -1.0)
+        summary_rows.append(
+            (
+                dataset,
+                len(truth),
+                naive_missed,
+                ags_missed,
+                f"{np.median(np.abs(list(naive_errors.values()))):.3f}",
+                f"{np.median(np.abs(list(ags_errors.values()))):.3f}",
+            )
+        )
+        sections.append(
+            f"--- {dataset} k={K} ---\n"
+            f"naive err_H histogram (paper top row):\n"
+            f"{_histogram_text(naive_errors.values())}\n"
+            f"AGS err_H histogram (paper bottom row):\n"
+            f"{_histogram_text(ags_errors.values())}"
+        )
+        # The paper's claim: AGS misses no more graphlets than naive.
+        assert ags_missed <= naive_missed
+    # On the skewed dataset AGS must strictly beat naive at recovery.
+    yelp_row = summary_rows[-1]
+    assert yelp_row[3] < yelp_row[2]
+
+    emit(
+        "fig8_error_dist",
+        format_table(
+            [
+                "dataset", "truth classes", "naive missed", "ags missed",
+                "naive med|err|", "ags med|err|",
+            ],
+            summary_rows,
+        )
+        + "\n\n" + "\n\n".join(sections),
+    )
+
+    counter = pipeline("amazon", K, seed=21)
+    classifier = classifier_for("amazon", K)
+    rng = np.random.default_rng(5)
+    benchmark.pedantic(
+        lambda: naive_estimate(counter.urn, classifier, 500, rng),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,101 @@
+"""Figure 9 — graphlets estimated within ±50%: absolute and as a fraction.
+
+The paper counts, per dataset and k, how many distinct graphlets each
+sampler estimates within ±50% of the ground truth — in absolute terms
+(log scale, top panel) and as a fraction of the ground-truth support
+(bottom panel).  The headline: on Yelp at k = 8 naive sampling nails
+exactly 1 graphlet (0.01%) while AGS reaches 87%.
+
+Reproduced at k = 5 on amazon (exact truth), berkstan and yelp (combined
+averaged reference, the paper's own fallback).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.ags import ags_estimate
+from repro.sampling.estimates import accuracy_census
+from repro.sampling.naive import naive_estimate
+
+from common import (
+    classifier_for,
+    combined_reference_truth,
+    emit,
+    exact_truth,
+    format_table,
+    pipeline,
+    truth_dict,
+)
+
+K = 5
+BUDGET = 12_000
+
+
+def _census_for(dataset: str, truth):
+    counter = pipeline(dataset, K, seed=23)
+    classifier = classifier_for(dataset, K)
+    naive = naive_estimate(
+        counter.urn, classifier, BUDGET, np.random.default_rng(3)
+    )
+    ags = ags_estimate(
+        counter.urn, classifier, BUDGET, cover_threshold=200,
+        rng=np.random.default_rng(4),
+    ).estimates
+    naive_count, naive_fraction = accuracy_census(naive, truth)
+    ags_count, ags_fraction = accuracy_census(ags, truth)
+    return naive_count, naive_fraction, ags_count, ags_fraction
+
+
+def test_fig9_accurate_graphlets(benchmark):
+    rows = []
+    results = {}
+    for dataset, truth in (
+        ("amazon", truth_dict(exact_truth("amazon", K))),
+        ("berkstan", truth_dict(combined_reference_truth("berkstan", K))),
+        ("yelp", truth_dict(combined_reference_truth("yelp", K))),
+    ):
+        naive_count, naive_fraction, ags_count, ags_fraction = _census_for(
+            dataset, truth
+        )
+        results[dataset] = (naive_fraction, ags_fraction)
+        rows.append(
+            (
+                dataset,
+                len(truth),
+                naive_count,
+                f"{naive_fraction:.2f}",
+                ags_count,
+                f"{ags_fraction:.2f}",
+            )
+        )
+    emit(
+        "fig9_accurate_graphlets",
+        format_table(
+            [
+                "dataset", "truth support", "naive ±50%", "naive frac",
+                "ags ±50%", "ags frac",
+            ],
+            rows,
+        ),
+    )
+
+    # Flat dataset: both samplers cover a solid majority (paper: >90% at
+    # k=6 — at our scale we ask for > 0.5).
+    assert results["amazon"][0] > 0.5
+    assert results["amazon"][1] > 0.5
+    # Skewed dataset: AGS covers at least as much as naive, strictly more
+    # on yelp (the paper's 0.01% vs 87% contrast).
+    assert results["yelp"][1] > results["yelp"][0]
+
+    counter = pipeline("yelp", K, seed=23)
+    classifier = classifier_for("yelp", K)
+    rng = np.random.default_rng(6)
+    benchmark.pedantic(
+        lambda: ags_estimate(
+            counter.urn, classifier, 400, cover_threshold=100, rng=rng
+        ),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,130 @@
+"""Theorem 6 — AGS vs the clairvoyant optimal sample allocation.
+
+Theorem 6: if AGS picks the minimizing treelet at every switch, its total
+number of sample() calls is at most O(ln s) = O(k²) times the minimum any
+algorithm needs to give every graphlet c̄ expected appearances.
+
+The benchmark builds the covering instance from *exact* quantities
+(colorful counts via ESU, σ tables, urn shape totals), solves the LP for
+the clairvoyant optimum, runs Appendix C's offline greedy, and runs the
+actual online AGS until every present graphlet is covered, then compares
+the three sample counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.urn import TreeletUrn
+from repro.exact.esu import exact_colorful_counts
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import erdos_renyi, star_heavy
+from repro.graphlets.spanning import spanning_tree_shape_counts
+from repro.sampling.ags import ags_estimate
+from repro.sampling.occurrences import GraphletClassifier
+from repro.sampling.setcover import (
+    coverage_matrix,
+    greedy_cover,
+    lp_optimal_cover,
+)
+
+from common import emit, format_table
+
+K = 4
+COVER = 60
+
+INSTANCES = [
+    ("er", lambda: erdos_renyi(60, 150, rng=92)),
+    ("star-heavy", lambda: star_heavy(8, 60, bridge_edges=4, rng=93)),
+    ("lollipop", lambda: load_dataset("lollipop")),
+]
+
+
+def _ags_samples_until_covered(urn, classifier, counts, rng) -> int:
+    """Run AGS until every graphlet present is covered; count samples."""
+    present = {bits for bits, g in counts.items() if g > 0}
+    budget_step = 2000
+    total = 0
+    covered: set = set()
+    # Incremental runs: AGS is restartable by just running longer.
+    for _ in range(40):
+        result = ags_estimate(
+            urn, classifier, budget_step + total,
+            cover_threshold=COVER, rng=np.random.default_rng(17),
+        )
+        covered = result.covered & present
+        total = result.estimates.samples
+        if present <= result.covered:
+            # Find the earliest point is not tracked; use the full run.
+            return total
+    return total
+
+
+def test_theorem6_ags_vs_clairvoyant(benchmark):
+    rows = []
+    for name, make in INSTANCES:
+        graph = make()
+        coloring = ColoringScheme.uniform(graph.num_vertices, K, rng=94)
+        table = build_table(graph, coloring)
+        urn = TreeletUrn(graph, table, coloring)
+        counts = exact_colorful_counts(graph, K, coloring)
+        sigma = {
+            bits: spanning_tree_shape_counts(bits, K) for bits in counts
+        }
+        totals = {
+            shape: urn.shape_total(shape)
+            for shape in urn.registry.free_shapes
+        }
+        instance = coverage_matrix(counts, sigma, totals)
+        _x, optimal = lp_optimal_cover(instance, COVER)
+        _x, greedy = greedy_cover(instance, COVER)
+        classifier = GraphletClassifier(graph, K)
+        ags_samples = _ags_samples_until_covered(
+            urn, classifier, counts, np.random.default_rng(95)
+        )
+
+        s = instance.num_graphlets
+        bound = (np.log(2 * s) + 1) * optimal + s * COVER
+        rows.append(
+            (
+                name,
+                s,
+                f"{optimal:,.0f}",
+                f"{greedy:,.0f}",
+                f"{ags_samples:,}",
+                f"{greedy / optimal:.2f}",
+                f"{ags_samples / optimal:.2f}",
+            )
+        )
+        # Lemma 2: greedy within the O(ln s) factor of the optimum.
+        assert optimal - 1e-6 <= greedy <= bound, name
+        # The online AGS (which must *learn* the quantities the greedy is
+        # given) stays within a generous constant of the same bound.
+        assert ags_samples <= 10 * bound, name
+    emit(
+        "theorem6_setcover",
+        f"Theorem 6: samples to cover every graphlet {COVER}x (k={K})\n"
+        + format_table(
+            [
+                "instance", "s", "LP optimal", "greedy", "AGS online",
+                "greedy/opt", "ags/opt",
+            ],
+            rows,
+        ),
+    )
+
+    graph = erdos_renyi(60, 150, rng=92)
+    coloring = ColoringScheme.uniform(graph.num_vertices, K, rng=94)
+    table = build_table(graph, coloring)
+    urn = TreeletUrn(graph, table, coloring)
+    counts = exact_colorful_counts(graph, K, coloring)
+    sigma = {bits: spanning_tree_shape_counts(bits, K) for bits in counts}
+    totals = {
+        shape: urn.shape_total(shape)
+        for shape in urn.registry.free_shapes
+    }
+    instance = coverage_matrix(counts, sigma, totals)
+    benchmark(lambda: lp_optimal_cover(instance, COVER))

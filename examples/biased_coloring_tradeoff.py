@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Biased coloring: trading accuracy for table size and build time (§3.4).
+
+On very large graphs motivo biases the coloring — one heavy color, the
+rest at probability λ — so most treelet counts are zero and the tables
+shrink.  The price is a smaller colorful probability p_k and therefore a
+noisier estimator (Figure 6 plots the widened error distribution).
+
+This example sweeps λ on the Friendster surrogate and reports, for each
+setting: build time, stored table pairs, the colorful probability, and
+the estimate dispersion across colorings for the most common graphlet.
+
+Run:  python examples/biased_coloring_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import MotivoConfig, MotivoCounter
+from repro.graph.datasets import load_dataset
+from repro.util.combinatorics import colorful_probability
+
+
+def run_setting(graph, k, lam, runs=5, samples=4000):
+    """Build + sample several colorings; return aggregate statistics."""
+    build_seconds = []
+    pairs = []
+    top_estimates = []
+    top_bits = None
+    for seed in range(runs):
+        config = MotivoConfig(k=k, seed=1000 + seed, biased_lambda=lam)
+        counter = MotivoCounter(graph, config)
+        start = time.perf_counter()
+        try:
+            counter.build()
+        except Exception:
+            continue  # empty urn under an aggressive lambda
+        build_seconds.append(time.perf_counter() - start)
+        pairs.append(counter.urn.table.total_pairs())
+        estimates = counter.sample_naive(samples)
+        if top_bits is None and estimates.counts:
+            top_bits = max(estimates.counts, key=estimates.counts.get)
+        top_estimates.append(estimates.counts.get(top_bits, 0.0))
+    return build_seconds, pairs, top_estimates
+
+
+def main() -> None:
+    graph = load_dataset("friendster")
+    k = 5
+    print(
+        f"friendster surrogate: n={graph.num_vertices}, m={graph.num_edges}, "
+        f"k={k}"
+    )
+    print(
+        f"uniform colorful probability p_k = {colorful_probability(k):.4f}\n"
+    )
+
+    header = (
+        f"{'lambda':>8}{'p_colorful':>12}{'build s':>9}"
+        f"{'table pairs':>13}{'top-motif cv':>14}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    settings = [None, 0.20, 0.10, 0.05, 0.02]
+    for lam in settings:
+        builds, pairs, tops = run_setting(graph, k, lam)
+        if not builds:
+            print(f"{str(lam):>8}  (all colorings empty — lambda too small)")
+            continue
+        if lam is None:
+            p = colorful_probability(k)
+            label = "uniform"
+        else:
+            from repro.util.combinatorics import biased_colorful_probability
+
+            p = biased_colorful_probability(k, lam)
+            label = f"{lam:.2f}"
+        tops_arr = np.asarray(tops)
+        cv = tops_arr.std() / tops_arr.mean() if tops_arr.mean() > 0 else float("nan")
+        print(
+            f"{label:>8}{p:>12.5f}{np.mean(builds):>9.3f}"
+            f"{int(np.mean(pairs)):>13,}{cv:>14.3f}"
+        )
+
+    print(
+        "\nreading: smaller lambda shrinks the table (fewer stored pairs)\n"
+        "and speeds the build, while the coefficient of variation of the\n"
+        "estimate grows — exactly the Figure 6 trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Rare motif hunting: adaptive graphlet sampling vs naive sampling.
+
+This is the paper's Yelp story (§5.3, Figures 8-10) at laptop scale.  On a
+star-dominated review graph virtually every k-graphlet is a star; naive
+sampling spends its entire budget rediscovering the star and misses the
+rare motifs, while AGS covers the star quickly, "deletes" it from the urn
+by switching treelet shapes, and recovers motifs orders of magnitude rarer
+with the *same* budget.
+
+Run:  python examples/rare_motif_hunting.py
+"""
+
+from __future__ import annotations
+
+from repro import MotivoConfig, MotivoCounter
+from repro.graph.generators import star_heavy
+from repro.graphlets.encoding import graphlet_edge_count
+from repro.graphlets.enumerate import star_graphlet
+from repro.sampling.estimates import rarest_frequency
+
+
+def main() -> None:
+    # A Yelp-like surrogate: a few enormous hubs with private leaves.
+    graph = star_heavy(hubs=10, leaves_per_hub=250, bridge_edges=6, rng=42)
+    k = 5
+    budget = 8_000
+    print(
+        f"star-dominated graph: n={graph.num_vertices}, m={graph.num_edges}, "
+        f"k={k}, budget={budget} samples"
+    )
+
+    counter = MotivoCounter(graph, MotivoConfig(k=k, seed=9))
+    counter.build()
+
+    naive = counter.sample_naive(budget)
+    ags_result = counter.sample_ags(budget, cover_threshold=200)
+    ags = ags_result.estimates
+
+    star = star_graphlet(k)
+    print(f"\nthe star graphlet owns {naive.frequency(star):.1%} of the "
+          "naive estimate — everything else is rare")
+
+    def well_seen(estimates):
+        return {
+            bits for bits, hits in estimates.hits.items() if hits >= 10
+        }
+
+    print("\n                         naive        AGS")
+    print(f"distinct graphlets seen  {len(naive.hits):>5}      {len(ags.hits):>5}")
+    print(
+        f"seen in >=10 samples     {len(well_seen(naive)):>5}      "
+        f"{len(well_seen(ags)):>5}"
+    )
+    naive_rare = rarest_frequency(naive, min_hits=10)
+    ags_rare = rarest_frequency(ags, min_hits=10)
+    print(
+        "rarest well-seen freq    "
+        f"{naive_rare if naive_rare is not None else float('nan'):>9.2e}  "
+        f"{ags_rare if ags_rare is not None else float('nan'):>9.2e}"
+    )
+    print(
+        f"\nAGS switched treelet shapes {ags_result.switches} times; "
+        f"covered {len(ags_result.covered)} graphlets"
+    )
+    print("shape usage (samples per free treelet shape):")
+    for shape, used in sorted(
+        ags_result.shape_usage.items(), key=lambda kv: -kv[1]
+    ):
+        if used:
+            print(f"  shape {shape:#06x}: {used}")
+
+    print("\nrare motifs recovered by AGS but (nearly) invisible to naive:")
+    print(f"{'graphlet':<20}{'AGS est.':>12}{'AGS hits':>10}{'naive hits':>12}")
+    shown = 0
+    for bits, value in sorted(ags.counts.items(), key=lambda kv: kv[1]):
+        if bits == star and shown:
+            continue
+        naive_hits = naive.hits.get(bits, 0)
+        ags_hits = ags.hits.get(bits, 0)
+        if ags_hits >= 10 and naive_hits < 10:
+            print(
+                f"{bits:#08x} ({graphlet_edge_count(bits)}e)   "
+                f"{value:>12.1f}{ags_hits:>10}{naive_hits:>12}"
+            )
+            shown += 1
+        if shown >= 8:
+            break
+    if not shown:
+        print("  (none at this scale — increase leaves_per_hub)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a from-scratch reproduction of *Motivo* (VLDB 2019).
+
+Motivo counts graph motifs (induced k-node graphlets) approximately, via
+color coding: a build-up phase computes, for every vertex, succinct counts
+of colorful rooted treelets; a sampling phase draws uniform treelet copies
+from that "urn" and converts hit rates into count estimates.  The paper's
+contributions — succinct treelet encodings, the compact count table with
+greedy flushing, 0-rooting, neighbor buffering, biased coloring, and the
+adaptive graphlet sampling (AGS) strategy — are all implemented here in
+pure Python/NumPy.
+
+Public entry points
+-------------------
+:class:`MotivoCounter` / :class:`MotivoConfig`
+    The end-to-end pipeline.
+:mod:`repro.graph`
+    Graph type, loaders, generators, and the paper-surrogate datasets.
+:mod:`repro.sampling`
+    Naive and AGS estimators plus the paper's error metrics.
+:mod:`repro.exact`
+    Exact ground-truth counting (ESU) for validation.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+table/figure reproduction index.
+"""
+
+from repro.errors import (
+    BuildError,
+    ColorError,
+    GraphError,
+    GraphletError,
+    MergeError,
+    ReproError,
+    SamplingError,
+    TableError,
+    TreeletError,
+)
+from repro.motivo import MotivoConfig, MotivoCounter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MotivoConfig",
+    "MotivoCounter",
+    "ReproError",
+    "GraphError",
+    "GraphletError",
+    "TreeletError",
+    "MergeError",
+    "ColorError",
+    "TableError",
+    "BuildError",
+    "SamplingError",
+    "__version__",
+]

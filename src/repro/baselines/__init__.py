@@ -1,0 +1,16 @@
+"""Non-color-coding baselines from the paper's related work (§1.1).
+
+``random_walk``
+    GUISE-style Metropolis–Hastings random walk over the space of
+    connected induced k-subgraphs.  Estimates graphlet *frequencies* only
+    (not counts) and may mix in Ω(n^{k-1}) steps — the two limitations the
+    paper uses to motivate color coding.
+``path_sampling``
+    Wedge/path sampling in the spirit of Jha et al. for k ≤ 5; fast for
+    small motifs, does not scale in k.
+"""
+
+from repro.baselines.random_walk import random_walk_frequencies
+from repro.baselines.path_sampling import wedge_sample_triangle_fraction
+
+__all__ = ["random_walk_frequencies", "wedge_sample_triangle_fraction"]

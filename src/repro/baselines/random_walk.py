@@ -1,0 +1,141 @@
+"""GUISE-style random walk over graphlet occurrences (§1.1 baseline).
+
+Two k-subgraph occurrences are *adjacent* when they share ``k - 1``
+vertices; the walk moves between adjacent occurrences and, with a
+Metropolis–Hastings correction, converges to the uniform distribution over
+all connected induced k-subgraphs.  Visit frequencies then estimate the
+graphlet frequency vector.
+
+The paper's critique, reproduced here by construction: the walk yields
+*frequencies only* (the normalization — the total occurrence count — is
+unknown), and mixing can need Ω(n^{k-1}) steps, so on skewed graphs the
+estimates stay far off for any practical budget.  The Figure 8/9
+benchmarks use this as the non-color-coding reference point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SamplingError
+from repro.graph.graph import Graph
+from repro.sampling.occurrences import GraphletClassifier
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["random_walk_frequencies"]
+
+
+def random_walk_frequencies(
+    graph: Graph,
+    k: int,
+    steps: int,
+    burn_in: int = 0,
+    rng: RngLike = None,
+    start: Optional[Tuple[int, ...]] = None,
+) -> Dict[int, float]:
+    """Estimate graphlet frequencies by a MH walk over occurrences.
+
+    Parameters
+    ----------
+    graph, k:
+        Host graph and motif size.
+    steps:
+        Number of recorded walk steps (after ``burn_in`` discarded ones).
+    start:
+        Optional initial occurrence (a connected k-subset); found greedily
+        when omitted.
+
+    Returns canonical graphlet encoding → estimated frequency.
+    """
+    if steps < 1:
+        raise SamplingError("need at least one walk step")
+    rng = ensure_rng(rng)
+    state = list(start) if start is not None else _initial_occurrence(graph, k)
+    if len(state) != k or not _is_connected_subset(graph, state):
+        raise SamplingError("start state is not a connected k-subset")
+    classifier = GraphletClassifier(graph, k)
+
+    visits: Counter = Counter()
+    degree_cache: Dict[Tuple[int, ...], int] = {}
+
+    def occurrence_degree(subset: List[int]) -> int:
+        key = tuple(sorted(subset))
+        cached = degree_cache.get(key)
+        if cached is None:
+            cached = len(_moves(graph, subset))
+            degree_cache[key] = cached
+        return cached
+
+    for step in range(burn_in + steps):
+        moves = _moves(graph, state)
+        if moves:
+            drop, add = moves[int(rng.integers(len(moves)))]
+            proposal = [v for v in state if v != drop] + [add]
+            # Metropolis–Hastings: target uniform over occurrences, so
+            # accept with min(1, deg(state)/deg(proposal)).
+            accept = min(
+                1.0, occurrence_degree(state) / occurrence_degree(proposal)
+            )
+            if rng.random() < accept:
+                state = proposal
+        if step >= burn_in:
+            visits[classifier.classify(state)] += 1
+    total = sum(visits.values())
+    return {bits: count / total for bits, count in visits.items()}
+
+
+def _initial_occurrence(graph: Graph, k: int) -> List[int]:
+    """Greedy BFS ball of size k around the highest-degree vertex."""
+    if graph.num_vertices < k:
+        raise SamplingError("graph has fewer than k vertices")
+    degrees = graph.degrees()
+    root = int(degrees.argmax())
+    subset = [root]
+    frontier = [int(u) for u in graph.neighbors(root)]
+    while len(subset) < k and frontier:
+        nxt = frontier.pop(0)
+        if nxt not in subset:
+            subset.append(nxt)
+            frontier.extend(
+                int(u) for u in graph.neighbors(nxt) if int(u) not in subset
+            )
+    if len(subset) < k:
+        raise SamplingError("no connected k-subset reachable from the hub")
+    return subset[:k]
+
+
+def _moves(graph: Graph, subset: List[int]) -> List[Tuple[int, int]]:
+    """All (drop, add) swaps leading to another connected k-subset."""
+    moves = []
+    in_subset = set(subset)
+    neighborhood = set()
+    for v in subset:
+        neighborhood.update(int(u) for u in graph.neighbors(v))
+    neighborhood -= in_subset
+    for drop in subset:
+        remainder = [v for v in subset if v != drop]
+        for add in neighborhood:
+            if graph.has_edge(drop, add) or any(
+                graph.has_edge(v, add) for v in remainder
+            ):
+                candidate = remainder + [add]
+                if _is_connected_subset(graph, candidate):
+                    moves.append((drop, add))
+    return moves
+
+
+def _is_connected_subset(graph: Graph, subset: List[int]) -> bool:
+    nodes = set(subset)
+    if not nodes:
+        return False
+    stack = [subset[0]]
+    seen = {subset[0]}
+    while stack:
+        v = stack.pop()
+        for u in graph.neighbors(v):
+            u = int(u)
+            if u in nodes and u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return len(seen) == len(nodes)

@@ -1,0 +1,26 @@
+"""Color coding: the build-up phase and the treelet urn (paper §2, §3).
+
+``coloring``
+    Uniform random coloring (§2.1) and the biased coloring of §3.4 that
+    trades urn accuracy for table size on very large graphs.
+``buildup``
+    Motivo's build-up phase: the Equation (1) dynamic program over succinct
+    treelets, vectorized as sparse matrix–vector products, with 0-rooting
+    and greedy flushing.
+``buildup_baseline``
+    CC's build-up phase: per-vertex hash tables over pointer treelets with
+    recursive check-and-merge — the baseline of Figures 2–4, and (being
+    exact-integer) the reference implementation for tests.
+``urn``
+    The sampling-phase interface over the finished table: uniform colorful
+    treelet samples (``sample()``) and per-shape samples (``sample(T)``,
+    the AGS primitive), with alias-method root selection and neighbor
+    buffering.
+"""
+
+from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.buildup_baseline import build_hash_table
+from repro.colorcoding.urn import TreeletUrn
+
+__all__ = ["ColoringScheme", "build_table", "build_hash_table", "TreeletUrn"]

@@ -1,0 +1,174 @@
+"""Motivo's build-up phase: the Equation (1) dynamic program, vectorized.
+
+For every vertex ``v`` and colorful rooted treelet ``T_C`` on up to ``k``
+nodes the phase computes ``c(T_C, v)``, the number of (non-induced) copies
+of ``T_C`` rooted at ``v``:
+
+    c(T_C, v) = (1/β_T) * Σ_{u ~ v} Σ_{C' ⊂ C, |C'| = |T'|}
+                    c(T'_{C'}, v) * c(T''_{C''}, u)
+
+with ``(T', T'')`` the unique decomposition of ``T`` and ``C'' = C \\ C'``.
+
+Vectorization.  Fixing ``(T'', C'')``, the inner neighbor sum
+``S(v) = Σ_{u~v} c(T''_{C''}, u)`` is one sparse matrix–vector product with
+the adjacency matrix; the recurrence then reduces to element-wise
+multiply-accumulate over vertex vectors.  This replaces motivo's per-word
+check-and-merge loop with array kernels — the Python-appropriate
+realization of the same succinct-key dynamic program (the keys, the
+decomposition structure, β, and the resulting numbers are identical, which
+the tests verify against the exact CC baseline).
+
+0-rooting (§3.2) restricts the size-``k`` layer to roots of color 0,
+shrinking it by a factor ``k``; greedy flushing (§3.1) spills each finished
+layer to disk and reopens it memory-mapped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import BuildError
+from repro.colorcoding.coloring import ColoringScheme
+from repro.graph.graph import Graph
+from repro.table.count_table import CountTable
+from repro.table.flush import SpillStore
+from repro.treelets.encoding import getsize
+from repro.treelets.registry import TreeletRegistry
+from repro.util.bitops import iter_subsets_of_size, masks_of_size
+from repro.util.instrument import Instrumentation
+
+__all__ = ["build_table"]
+
+Key = Tuple[int, int]
+
+
+def build_table(
+    graph: Graph,
+    coloring: ColoringScheme,
+    registry: Optional[TreeletRegistry] = None,
+    zero_rooting: bool = True,
+    spill: Optional[SpillStore] = None,
+    instrumentation: Optional[Instrumentation] = None,
+) -> CountTable:
+    """Run the build-up phase and return the treelet count table.
+
+    Parameters
+    ----------
+    graph:
+        Host graph.
+    coloring:
+        A realized :class:`ColoringScheme` with ``k`` colors.
+    registry:
+        Treelet registry for ``k`` (built on demand when omitted).
+    zero_rooting:
+        Apply the §3.2 optimization: store size-``k`` counts only at
+        vertices of color 0 (each colorful copy counted exactly once).
+    spill:
+        Optional :class:`SpillStore`; when given, every finished layer is
+        greedily flushed to disk, sorted in a second pass, and reopened
+        memory-mapped, so the in-memory footprint stays one layer deep.
+    instrumentation:
+        Counter bag; receives ``merge_ops`` (one per (T, C-split) kernel —
+        the vectorized analogue of check-and-merge calls) and the
+        ``buildup``/``sort_pass`` timers.
+    """
+    k = coloring.k
+    if k < 2:
+        raise BuildError("build-up needs k >= 2")
+    if coloring.num_vertices != graph.num_vertices:
+        raise BuildError(
+            f"coloring covers {coloring.num_vertices} vertices, graph has "
+            f"{graph.num_vertices}"
+        )
+    registry = registry or TreeletRegistry(k)
+    if registry.k != k:
+        raise BuildError(f"registry is for k={registry.k}, coloring for k={k}")
+    instrumentation = instrumentation or Instrumentation()
+
+    n = graph.num_vertices
+    adjacency = graph.adjacency_csr()
+    table = CountTable(k, n, zero_rooted=zero_rooting)
+
+    with instrumentation.timer("buildup"):
+        # Level 1: the singleton treelet, one entry per color.
+        level_one: Dict[Key, np.ndarray] = {}
+        for color in range(k):
+            indicator = coloring.indicator(color)
+            if indicator.any():
+                level_one[(0, 1 << color)] = indicator
+        _install_layer(table, 1, level_one, spill)
+
+        zero_mask = coloring.indicator(0) if zero_rooting else None
+
+        for h in range(2, k + 1):
+            entries: Dict[Key, np.ndarray] = {}
+            neighbor_sums: Dict[Key, np.ndarray] = {}
+            color_masks = masks_of_size(k, h)
+            for treelet in registry.treelets_of_size(h):
+                t_prime, t_second, beta_t = registry.decomposition(treelet)
+                h_second = getsize(t_second)
+                layer_prime = table.layer(h - h_second)
+                layer_second = table.layer(h_second)
+                for mask in color_masks:
+                    accumulated: Optional[np.ndarray] = None
+                    for sub_mask in iter_subsets_of_size(mask, h_second):
+                        counts_second = layer_second.counts_for(t_second, sub_mask)
+                        if counts_second is None:
+                            continue
+                        counts_prime = layer_prime.counts_for(
+                            t_prime, mask ^ sub_mask
+                        )
+                        if counts_prime is None:
+                            continue
+                        instrumentation.count("merge_ops")
+                        sums = neighbor_sums.get((t_second, sub_mask))
+                        if sums is None:
+                            sums = adjacency.dot(counts_second)
+                            neighbor_sums[(t_second, sub_mask)] = sums
+                        term = counts_prime * sums
+                        if accumulated is None:
+                            accumulated = term
+                        else:
+                            accumulated += term
+                    if accumulated is None or not accumulated.any():
+                        continue
+                    if beta_t > 1:
+                        accumulated /= beta_t
+                    if h == k and zero_mask is not None:
+                        accumulated = accumulated * zero_mask
+                        if not accumulated.any():
+                            continue
+                    entries[(treelet, mask)] = accumulated
+            _install_layer(table, h, entries, spill)
+
+    if spill is not None:
+        with instrumentation.timer("sort_pass"):
+            spill.sort_pass()
+        # Reopen every layer memory-mapped in sorted order.
+        for size in spill.spilled_sizes():
+            table.drop_layer(size)
+            table.set_layer(spill.load_layer(size, mmap=True))
+    return table
+
+
+def _install_layer(
+    table: CountTable,
+    size: int,
+    entries: Dict[Key, np.ndarray],
+    spill: Optional[SpillStore],
+) -> None:
+    """Install a finished layer, optionally through the greedy-flush path."""
+    if spill is None:
+        table.add_layer(size, entries)
+        return
+    # Greedy flush: write in *arrival* order (the second I/O pass sorts),
+    # release the in-memory buffers, reopen memory-mapped.
+    keys = list(entries)
+    if keys:
+        matrix = np.vstack([entries[key] for key in keys])
+    else:
+        matrix = np.zeros((0, table.num_vertices), dtype=np.float64)
+    spill.spill_layer(size, keys, matrix)
+    table.set_layer(spill.load_layer(size, mmap=True))

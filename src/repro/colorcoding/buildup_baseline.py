@@ -1,0 +1,197 @@
+"""CC's build-up phase: hash tables + recursive check-and-merge (§2.1, §3.1).
+
+This is the baseline motivo improves on, reproduced with CC's actual
+mechanics: every vertex owns a hash table keyed by the pointer of a
+treelet's representative instance, and Equation (1) is evaluated "the
+opposite way" — iterate over all pairs of counts ``c(T'_{C'}, v)`` and
+``c(T''_{C''}, u)`` for ``u ~ v``, attempt a *check-and-merge* for every
+pair, and on success accumulate the product into ``c(T_C, v)``.
+
+Every check-and-merge call walks pointer structures recursively, which is
+the cost Figure 2 measures.  Counts are Python integers, so this build is
+exact — the unit tests use it as the ground-truth reference for the
+vectorized build-up.
+
+Complexity makes this practical only on small graphs (it is quadratic in
+record sizes per edge), which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import BuildError
+from repro.colorcoding.coloring import ColoringScheme
+from repro.graph.graph import Graph
+from repro.table.hash_table import HashCountTable
+from repro.treelets.pointer_tree import PointerTreeFactory
+from repro.util.instrument import Instrumentation
+
+__all__ = ["build_hash_table", "build_succinct_pair_table"]
+
+
+def build_hash_table(
+    graph: Graph,
+    coloring: ColoringScheme,
+    factory: Optional[PointerTreeFactory] = None,
+    zero_rooting: bool = False,
+    instrumentation: Optional[Instrumentation] = None,
+) -> HashCountTable:
+    """Run CC's build-up phase and return the per-vertex hash tables.
+
+    Parameters mirror :func:`repro.colorcoding.buildup.build_table`;
+    ``zero_rooting`` defaults to off because CC predates the optimization
+    (enable it to measure its effect in isolation, Figure 4).
+    """
+    k = coloring.k
+    if k < 2:
+        raise BuildError("build-up needs k >= 2")
+    if coloring.num_vertices != graph.num_vertices:
+        raise BuildError("coloring and graph disagree on vertex count")
+    instrumentation = instrumentation or Instrumentation()
+    factory = factory or PointerTreeFactory(instrumentation)
+
+    n = graph.num_vertices
+    table = HashCountTable(k, n, factory)
+    singleton = factory.singleton
+    for v in range(n):
+        table.set(v, singleton, 1 << int(coloring.colors[v]), 1)
+
+    with instrumentation.timer("buildup"):
+        for h in range(2, k + 1):
+            for v in range(n):
+                _accumulate_vertex(graph, table, factory, v, h, instrumentation)
+            if h == k and zero_rooting:
+                for v in range(n):
+                    if int(coloring.colors[v]) != 0:
+                        for tree, mask, _count in list(table.items_at(v, size=k)):
+                            table.set(v, tree, mask, 0)
+            # Normalize by beta: the pair iteration counts each copy
+            # beta_T times (once per mergeable child subtree).
+            for v in range(n):
+                for tree, mask, count in list(table.items_at(v, size=h)):
+                    beta_t = factory.beta(tree)
+                    if beta_t > 1:
+                        if count % beta_t:
+                            raise BuildError(
+                                "accumulated count not divisible by beta — "
+                                "the dynamic program is inconsistent"
+                            )
+                        table.set(v, tree, mask, count // beta_t)
+    return table
+
+
+def build_succinct_pair_table(
+    graph: Graph,
+    coloring: ColoringScheme,
+    instrumentation: Optional[Instrumentation] = None,
+) -> "dict[tuple[int, int], dict[int, int]]":
+    """CC's pair-iteration algorithm over *succinct* treelet words.
+
+    Figure 2 of the paper isolates the data-structure change: the same
+    check-and-merge loop, with pointer dereferences and recursive walks
+    replaced by word comparisons and shift-or merges.  This function is
+    that middle point — CC's algorithm, motivo's treelets.  Returns
+    ``{(encoding, mask): {vertex: count}}`` (the same shape as
+    ``HashCountTable.to_encoding_dict``, so results are directly
+    comparable).
+    """
+    from repro.treelets.encoding import beta as encoding_beta
+    from repro.treelets.encoding import can_merge, getsize, merge
+
+    k = coloring.k
+    if k < 2:
+        raise BuildError("build-up needs k >= 2")
+    if coloring.num_vertices != graph.num_vertices:
+        raise BuildError("coloring and graph disagree on vertex count")
+    instrumentation = instrumentation or Instrumentation()
+
+    n = graph.num_vertices
+    # tables[v][size] = {(encoding, mask): count}
+    tables: "list[dict[int, dict[tuple[int, int], int]]]" = [
+        {1: {(0, 1 << int(coloring.colors[v])): 1}} for v in range(n)
+    ]
+
+    with instrumentation.timer("buildup"):
+        for h in range(2, k + 1):
+            with instrumentation.timer("check_and_merge"):
+                for v in range(n):
+                    accumulated: "dict[tuple[int, int], int]" = {}
+                    for u in graph.neighbors(v):
+                        u = int(u)
+                        for h_second in range(1, h):
+                            second_items = tables[u].get(h_second)
+                            prime_items = tables[v].get(h - h_second)
+                            if not second_items or not prime_items:
+                                continue
+                            for (t_prime, mask_prime), count_prime in (
+                                prime_items.items()
+                            ):
+                                for (t_second, mask_second), count_second in (
+                                    second_items.items()
+                                ):
+                                    if mask_prime & mask_second:
+                                        continue
+                                    instrumentation.count("check_and_merge")
+                                    if not can_merge(t_prime, t_second):
+                                        continue
+                                    instrumentation.count("merge_success")
+                                    key = (
+                                        merge(t_prime, t_second),
+                                        mask_prime | mask_second,
+                                    )
+                                    accumulated[key] = (
+                                        accumulated.get(key, 0)
+                                        + count_prime * count_second
+                                    )
+                    if accumulated:
+                        level = {}
+                        for (encoding, mask), total in accumulated.items():
+                            beta_t = encoding_beta(encoding)
+                            if total % beta_t:
+                                raise BuildError(
+                                    "count not divisible by beta"
+                                )
+                            level[(encoding, mask)] = total // beta_t
+                        tables[v][h] = level
+
+    out: "dict[tuple[int, int], dict[int, int]]" = {}
+    for v in range(n):
+        for level in tables[v].values():
+            for key, count in level.items():
+                out.setdefault(key, {})[v] = count
+    return out
+
+
+def _accumulate_vertex(
+    graph: Graph,
+    table: HashCountTable,
+    factory: PointerTreeFactory,
+    v: int,
+    h: int,
+    instrumentation: Instrumentation,
+) -> None:
+    """All size-``h`` counts at ``v`` by pair iteration over neighbors."""
+    with instrumentation.timer("check_and_merge"):
+        for u in graph.neighbors(v):
+            u = int(u)
+            for h_second in range(1, h):
+                h_prime = h - h_second
+                second_items = list(table.items_at(u, size=h_second))
+                if not second_items:
+                    continue
+                for t_prime, mask_prime, count_prime in list(
+                    table.items_at(v, size=h_prime)
+                ):
+                    for t_second, mask_second, count_second in second_items:
+                        if mask_prime & mask_second:
+                            continue  # not colorful together
+                        merged = factory.check_and_merge(t_prime, t_second)
+                        if merged is None:
+                            continue
+                        table.add(
+                            v,
+                            merged,
+                            mask_prime | mask_second,
+                            count_prime * count_second,
+                        )

@@ -1,0 +1,115 @@
+"""Vertex colorings for color coding (§2.1) and biased coloring (§3.4).
+
+Uniform coloring draws each vertex's color independently and uniformly
+from ``[k]``; a fixed k-subset of vertices becomes *colorful* (all distinct
+colors) with probability ``p_k = k!/k^k`` — the constant behind the count
+estimator ``ĝ_i = c_i / p_k``.
+
+Biased coloring gives the light colors ``1..k-1`` probability ``λ`` each
+and the heavy color ``0`` the remaining ``1-(k-1)λ``.  Small λ empties
+most table entries (Equation 3) shrinking time and space, at the price of
+a smaller colorful probability ``k! λ^(k-1) (1-(k-1)λ)`` and hence higher
+estimator variance.  The paper makes color ``k`` heavy; we use color 0 so
+the heavy color coincides with the 0-rooting color, which is equivalent up
+to renaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ColorError
+from repro.util.combinatorics import (
+    biased_colorful_probability,
+    colorful_probability,
+)
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["ColoringScheme"]
+
+
+@dataclass(frozen=True)
+class ColoringScheme:
+    """A realized coloring of the host graph's vertices.
+
+    Attributes
+    ----------
+    k:
+        Number of colors (= motif size).
+    colors:
+        Per-vertex color indices in ``[0, k)``.
+    lam:
+        The biased-coloring λ, or ``None`` for a uniform coloring.
+    """
+
+    k: int
+    colors: np.ndarray
+    lam: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, num_vertices: int, k: int, rng: RngLike = None) -> "ColoringScheme":
+        """Independent uniform colors (the standard §2.1 coloring)."""
+        if k < 1:
+            raise ColorError("k must be positive")
+        rng = ensure_rng(rng)
+        colors = rng.integers(0, k, size=num_vertices).astype(np.int64)
+        return cls(k=k, colors=colors, lam=None)
+
+    @classmethod
+    def biased(
+        cls, num_vertices: int, k: int, lam: float, rng: RngLike = None
+    ) -> "ColoringScheme":
+        """Biased coloring: color 0 heavy, colors 1..k-1 at probability λ."""
+        if k < 2:
+            raise ColorError("biased coloring needs k >= 2")
+        if not 0.0 < lam <= 1.0 / (k - 1):
+            raise ColorError(f"lambda must lie in (0, 1/(k-1)] for k={k}")
+        rng = ensure_rng(rng)
+        probabilities = np.full(k, lam, dtype=np.float64)
+        probabilities[0] = 1.0 - (k - 1) * lam
+        colors = rng.choice(k, size=num_vertices, p=probabilities).astype(np.int64)
+        return cls(k=k, colors=colors, lam=lam)
+
+    @classmethod
+    def fixed(cls, colors: "np.ndarray | list", k: int) -> "ColoringScheme":
+        """Wrap an explicit color assignment (used for exact σ_ij runs)."""
+        array = np.asarray(colors, dtype=np.int64)
+        if array.size and (array.min() < 0 or array.max() >= k):
+            raise ColorError(f"colors must lie in [0, {k})")
+        return cls(k=k, colors=array, lam=None)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of colored vertices."""
+        return int(self.colors.shape[0])
+
+    def colorful_probability(self) -> float:
+        """Probability that a fixed k-set of vertices becomes colorful.
+
+        This is the ``p_k`` of the estimator ``ĝ_i = c_i / p_k``: uniform
+        ``k!/k^k``, or the biased-coloring generalization of §3.4.
+        """
+        if self.lam is None:
+            return colorful_probability(self.k)
+        return biased_colorful_probability(self.k, self.lam)
+
+    def indicator(self, color: int) -> np.ndarray:
+        """Float indicator vector of vertices with the given color."""
+        if not 0 <= color < self.k:
+            raise ColorError(f"color {color} outside [0, {self.k})")
+        return (self.colors == color).astype(np.float64)
+
+    def color_histogram(self) -> np.ndarray:
+        """How many vertices wear each color."""
+        return np.bincount(self.colors, minlength=self.k)

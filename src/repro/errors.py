@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses exist for the major subsystems:
+graph loading, treelet encoding, count tables, and the sampling engines.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad edges, unknown vertices...)."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when a graph file cannot be parsed or has a bad header."""
+
+
+class TreeletError(ReproError):
+    """Raised for invalid treelet encodings or illegal treelet operations."""
+
+
+class MergeError(TreeletError):
+    """Raised when two treelets cannot be merged under the canonical order."""
+
+
+class ColorError(ReproError):
+    """Raised for invalid colorings or color-set operations."""
+
+
+class TableError(ReproError):
+    """Raised for count-table misuse (missing records, bad keys...)."""
+
+
+class BuildError(ReproError):
+    """Raised when the build-up phase is invoked with inconsistent options."""
+
+
+class SamplingError(ReproError):
+    """Raised when the sampling phase cannot proceed (empty urn...)."""
+
+
+class GraphletError(ReproError):
+    """Raised for invalid graphlet encodings or canonicalization failures."""

@@ -1,0 +1,13 @@
+"""Exact graphlet counting — the ground-truth providers.
+
+The paper uses ESCAPE [19] for exact 5-graphlet counts where it finishes,
+and averages many motivo runs elsewhere.  Here the same roles are played
+by :mod:`repro.exact.esu` (the ESU enumeration of Wernicke, exact for any
+``k`` on small graphs) and :mod:`repro.exact.brute` (a combinations-based
+oracle for tiny graphs, used to test ESU itself).
+"""
+
+from repro.exact.esu import exact_colorful_counts, exact_counts
+from repro.exact.brute import brute_force_counts
+
+__all__ = ["exact_counts", "exact_colorful_counts", "brute_force_counts"]

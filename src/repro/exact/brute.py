@@ -1,0 +1,90 @@
+"""Combinations-based exact counting for tiny graphs.
+
+Independent of ESU (different algorithm, shared nothing), so the two can
+validate each other: iterate every k-subset of vertices, keep the connected
+induced subgraphs, canonicalize, tally.  Only usable when ``C(n, k)`` is
+small — which is exactly its job as a test oracle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import Dict, Optional
+
+from repro.colorcoding.coloring import ColoringScheme
+from repro.errors import SamplingError
+from repro.graph.graph import Graph
+from repro.graphlets.canonical import canonical_form
+from repro.graphlets.encoding import is_connected_graphlet, pair_index
+
+__all__ = ["brute_force_counts", "brute_force_colorful_treelet_total"]
+
+
+def brute_force_counts(
+    graph: Graph,
+    k: int,
+    coloring: Optional[ColoringScheme] = None,
+    max_subsets: int = 5_000_000,
+) -> Dict[int, int]:
+    """Exact induced graphlet counts by exhausting all k-subsets.
+
+    With ``coloring`` given, only colorful occurrences are counted (the
+    ``c_i`` of §2.2).  Refuses graphs where ``C(n, k)`` exceeds
+    ``max_subsets`` — this is a test oracle, not a production counter.
+    """
+    from math import comb
+
+    n = graph.num_vertices
+    if comb(n, k) > max_subsets:
+        raise SamplingError(
+            f"C({n}, {k}) subsets exceed the brute-force budget"
+        )
+    colors = coloring.colors if coloring is not None else None
+    counts: Counter = Counter()
+    for vertices in combinations(range(n), k):
+        if colors is not None:
+            if len({int(colors[v]) for v in vertices}) != k:
+                continue
+        bits = 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                if graph.has_edge(vertices[i], vertices[j]):
+                    bits |= 1 << pair_index(i, j, k)
+        if not is_connected_graphlet(bits, k):
+            continue
+        counts[canonical_form(bits, k)] += 1
+    return dict(counts)
+
+
+def brute_force_colorful_treelet_total(
+    graph: Graph, k: int, coloring: ColoringScheme, max_subsets: int = 5_000_000
+) -> int:
+    """Exact total number of colorful k-treelet copies ``t``.
+
+    Every colorful treelet copy is a spanning tree of the subgraph induced
+    by its (colorful) vertex set, so ``t = Σ_S σ(G[S])`` over colorful
+    k-subsets ``S`` — evaluated with Kirchhoff per subset.  Cross-checks
+    ``urn.total_treelets``.
+    """
+    from math import comb
+
+    from repro.graphlets.encoding import encode_adjacency
+    from repro.graphlets.spanning import spanning_tree_count
+
+    n = graph.num_vertices
+    if comb(n, k) > max_subsets:
+        raise SamplingError(
+            f"C({n}, {k}) subsets exceed the brute-force budget"
+        )
+    colors = coloring.colors
+    total = 0
+    for vertices in combinations(range(n), k):
+        if len({int(colors[v]) for v in vertices}) != k:
+            continue
+        adjacency = graph.induced_adjacency(list(vertices))
+        bits = encode_adjacency(adjacency, k)
+        if not is_connected_graphlet(bits, k):
+            continue
+        total += spanning_tree_count(bits, k)
+    return total

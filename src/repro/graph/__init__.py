@@ -1,0 +1,24 @@
+"""Host-graph substrate.
+
+The paper stores the input graph as adjacency lists in sorted static arrays,
+contiguous in memory, supporting fast iteration and O(log d) edge-membership
+queries (§3.3, "Input graph").  :class:`~repro.graph.graph.Graph` is the
+same design on NumPy arrays (CSR).  The remaining modules provide the
+loaders/savers (text edge lists and a binary format, standing in for the
+"motivo binary format"), synthetic generators, and the named surrogate
+datasets replacing the paper's public graphs (see DESIGN.md §2).
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.io import load_edge_list, load_binary, save_binary, save_edge_list
+from repro.graph.datasets import dataset_names, load_dataset
+
+__all__ = [
+    "Graph",
+    "load_edge_list",
+    "load_binary",
+    "save_binary",
+    "save_edge_list",
+    "dataset_names",
+    "load_dataset",
+]

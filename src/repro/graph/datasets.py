@@ -1,0 +1,138 @@
+"""Named surrogate datasets for the paper's nine graphs (Table 1).
+
+The paper's inputs range from 0.1M nodes / 0.8M edges (Facebook) to 65.6M
+nodes / 1.8B edges (Friendster); pure Python cannot hold those, and the
+files are not redistributable here anyway.  Each surrogate below is a
+synthetic graph ~10^3× smaller that preserves the *structural regime* the
+corresponding dataset contributes to the evaluation:
+
+==============  =====================================================
+facebook        dense-ish social BA graph (smallest, runs at every k)
+berkstan        web graph with one extreme-degree hub (Figure 5)
+amazon          near-regular low-degree co-purchase network
+dblp            community (stochastic block) collaboration graph
+orkut           denser social BA graph with a secondary hub
+livejournal     larger social BA graph
+yelp            star-dominated review graph (>99.99% of k-graphlets
+                are stars — the AGS showcase, Figures 8-10)
+twitter         larger heavy-tail BA graph (scaling sweeps)
+friendster      largest surrogate, ER-like (biased coloring, Figure 6)
+lollipop        Theorem 5 lower-bound construction
+==============  =====================================================
+
+All surrogates are deterministic (fixed seeds), so every benchmark and test
+sees the same graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph import generators as gen
+
+__all__ = ["DatasetInfo", "dataset_names", "dataset_info", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata tying a surrogate back to the paper's Table 1 row."""
+
+    name: str
+    paper_nodes_m: float  #: paper graph size, millions of nodes
+    paper_edges_m: float  #: paper graph size, millions of edges
+    paper_max_k: int  #: largest k the paper ran on this graph
+    description: str
+    builder: Callable[[], Graph]
+
+    def load(self) -> Graph:
+        """Build (or fetch from cache) the surrogate graph."""
+        return _cached_build(self.name)
+
+
+def _registry() -> Dict[str, DatasetInfo]:
+    return {
+        info.name: info
+        for info in (
+            DatasetInfo(
+                "facebook", 0.1, 0.8, 9,
+                "social BA graph; the paper's smallest, deepest-k dataset",
+                lambda: gen.barabasi_albert(600, 5, rng=101),
+            ),
+            DatasetInfo(
+                "berkstan", 0.7, 6.6, 9,
+                "web graph with one extreme hub (neighbor-buffering regime)",
+                lambda: gen.hub_and_spokes(900, 3, 0.45, rng=102),
+            ),
+            DatasetInfo(
+                "amazon", 0.7, 3.5, 9,
+                "near-regular low-degree co-purchase network",
+                lambda: gen.random_regular(1200, 6, rng=103),
+            ),
+            DatasetInfo(
+                "dblp", 0.9, 3.4, 9,
+                "community collaboration graph (stochastic blocks)",
+                lambda: gen.stochastic_block([40] * 25, 0.25, 0.002, rng=104),
+            ),
+            DatasetInfo(
+                "orkut", 3.1, 117.2, 7,
+                "dense social BA graph with a secondary hub",
+                lambda: gen.hub_and_spokes(800, 10, 0.30, rng=105),
+            ),
+            DatasetInfo(
+                "livejournal", 5.4, 49.5, 8,
+                "larger social BA graph",
+                lambda: gen.barabasi_albert(2000, 7, rng=106),
+            ),
+            DatasetInfo(
+                "yelp", 7.2, 26.1, 8,
+                "star-dominated review graph; AGS showcase",
+                lambda: gen.star_heavy(30, 120, bridge_edges=25, rng=107),
+            ),
+            DatasetInfo(
+                "twitter", 41.7, 1202.5, 6,
+                "larger heavy-tail BA graph for scaling sweeps",
+                lambda: gen.barabasi_albert(3000, 9, rng=108),
+            ),
+            DatasetInfo(
+                "friendster", 65.6, 1806.1, 6,
+                "largest surrogate (ER-like), biased-coloring experiments",
+                lambda: gen.erdos_renyi(4000, 16000, rng=109),
+            ),
+            DatasetInfo(
+                "lollipop", 0.0, 0.0, 5,
+                "Theorem 5 lower-bound graph: clique plus dangling path",
+                lambda: gen.lollipop(60, 3),
+            ),
+        )
+    }
+
+
+_REGISTRY = _registry()
+
+
+@lru_cache(maxsize=None)
+def _cached_build(name: str) -> Graph:
+    return _REGISTRY[name].builder()
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """Names of the available surrogate datasets (paper Table 1 order)."""
+    return tuple(_REGISTRY)
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Metadata for one surrogate; raises :class:`GraphError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise GraphError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def load_dataset(name: str) -> Graph:
+    """Build the named surrogate graph (cached, deterministic)."""
+    return dataset_info(name).load()

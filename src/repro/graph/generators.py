@@ -1,0 +1,245 @@
+"""Synthetic graph generators.
+
+The paper evaluates on nine public graphs (Table 1) spanning very different
+regimes: social graphs, a web graph dominated by one enormous-degree hub
+(BerkStan), a review graph whose k-graphlet population is >99.99% stars
+(Yelp), low-degree co-purchase networks, and the lollipop construction of
+Theorem 5.  These generators produce graphs in each regime at laptop scale;
+:mod:`repro.graph.datasets` instantiates the named surrogates.
+
+All generators are deterministic given an ``rng`` (see
+:func:`repro.util.rng.ensure_rng`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "random_regular",
+    "stochastic_block",
+    "star_heavy",
+    "hub_and_spokes",
+    "lollipop",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+]
+
+
+def erdos_renyi(n: int, m: int, rng: RngLike = None) -> Graph:
+    """G(n, m): ``m`` distinct uniform edges over ``n`` vertices."""
+    if n < 0 or m < 0:
+        raise GraphError("n and m must be non-negative")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"m={m} exceeds the {max_edges} possible edges")
+    rng = ensure_rng(rng)
+    chosen: set = set()
+    # Rejection sampling is fine while m is well below the maximum.
+    while len(chosen) < m:
+        batch = rng.integers(0, n, size=(2 * (m - len(chosen)) + 8, 2))
+        for u, v in batch:
+            if u == v:
+                continue
+            edge = (int(min(u, v)), int(max(u, v)))
+            chosen.add(edge)
+            if len(chosen) == m:
+                break
+    return Graph.from_edges(sorted(chosen), n=n)
+
+
+def barabasi_albert(n: int, attach: int, rng: RngLike = None) -> Graph:
+    """Preferential attachment: each new vertex attaches to ``attach`` others.
+
+    Produces the heavy-tailed degree distributions of the paper's social
+    graphs (Facebook, Orkut, LiveJournal surrogates).
+    """
+    if attach < 1:
+        raise GraphError("attach must be at least 1")
+    if n <= attach:
+        raise GraphError(f"need n > attach, got n={n}, attach={attach}")
+    rng = ensure_rng(rng)
+    edges: List[Tuple[int, int]] = []
+    # Repeated-endpoint list implements preferential attachment in O(1).
+    endpoint_pool: List[int] = []
+    for v in range(attach):
+        # Seed clique-ish core so early vertices have degree > 0.
+        for u in range(v):
+            edges.append((u, v))
+            endpoint_pool.extend((u, v))
+    if not endpoint_pool:
+        endpoint_pool = [0]
+    for v in range(max(attach, 1), n):
+        targets: set = set()
+        while len(targets) < min(attach, v):
+            candidate = endpoint_pool[int(rng.integers(len(endpoint_pool)))]
+            if candidate != v:
+                targets.add(candidate)
+        for u in targets:
+            edges.append((u, v))
+            endpoint_pool.extend((u, v))
+    return Graph.from_edges(edges, n=n)
+
+
+def random_regular(n: int, degree: int, rng: RngLike = None) -> Graph:
+    """Approximately ``degree``-regular graph via the pairing model.
+
+    Pairs stubs uniformly and drops collisions (self-loops/multi-edges), so
+    a few vertices may fall short of ``degree``.  Models the flat-degree
+    co-purchase networks (Amazon surrogate).
+    """
+    if degree < 0 or n < 0:
+        raise GraphError("n and degree must be non-negative")
+    if n * degree % 2:
+        raise GraphError("n * degree must be even")
+    rng = ensure_rng(rng)
+    stubs = np.repeat(np.arange(n), degree)
+    rng.shuffle(stubs)
+    edges = []
+    for i in range(0, stubs.size - 1, 2):
+        u, v = int(stubs[i]), int(stubs[i + 1])
+        if u != v:
+            edges.append((u, v))
+    return Graph.from_edges(edges, n=n)
+
+
+def stochastic_block(
+    block_sizes: "list[int]",
+    p_in: float,
+    p_out: float,
+    rng: RngLike = None,
+) -> Graph:
+    """Stochastic block model (community graph, Dblp surrogate)."""
+    if not 0 <= p_in <= 1 or not 0 <= p_out <= 1:
+        raise GraphError("probabilities must lie in [0, 1]")
+    rng = ensure_rng(rng)
+    boundaries = np.cumsum([0] + list(block_sizes))
+    n = int(boundaries[-1])
+    block_of = np.zeros(n, dtype=np.int64)
+    for b in range(len(block_sizes)):
+        block_of[boundaries[b]:boundaries[b + 1]] = b
+    edges = []
+    for u in range(n):
+        # Vectorized Bernoulli row against all later vertices.
+        later = np.arange(u + 1, n)
+        if later.size == 0:
+            continue
+        probabilities = np.where(block_of[later] == block_of[u], p_in, p_out)
+        hits = later[rng.random(later.size) < probabilities]
+        edges.extend((u, int(v)) for v in hits)
+    return Graph.from_edges(edges, n=n)
+
+
+def star_heavy(
+    hubs: int,
+    leaves_per_hub: int,
+    bridge_edges: int = 0,
+    rng: RngLike = None,
+) -> Graph:
+    """Graph whose k-graphlet population is overwhelmingly stars.
+
+    ``hubs`` centers each with ``leaves_per_hub`` private leaves, plus
+    ``bridge_edges`` random hub–hub edges to keep it connected and create a
+    tiny population of non-star graphlets.  This is the Yelp surrogate: in
+    the paper >99.9996% of Yelp's 8-graphlets are stars and naive sampling
+    sees nothing else, which is exactly the regime this generator creates.
+    """
+    if hubs < 1 or leaves_per_hub < 1:
+        raise GraphError("need at least one hub and one leaf per hub")
+    rng = ensure_rng(rng)
+    edges = []
+    n = hubs * (1 + leaves_per_hub)
+    for h in range(hubs):
+        center = h * (1 + leaves_per_hub)
+        for leaf in range(leaves_per_hub):
+            edges.append((center, center + 1 + leaf))
+    # Chain the hubs so the graph is connected.
+    stride = 1 + leaves_per_hub
+    for h in range(hubs - 1):
+        edges.append((h * stride, (h + 1) * stride))
+    for _ in range(bridge_edges):
+        a, b = rng.integers(0, hubs, size=2)
+        if a != b:
+            edges.append((int(a) * stride, int(b) * stride))
+    return Graph.from_edges(edges, n=n)
+
+
+def hub_and_spokes(
+    n: int,
+    base_attach: int,
+    hub_fraction: float,
+    rng: RngLike = None,
+) -> Graph:
+    """BA graph plus one vertex adjacent to a ``hub_fraction`` of all others.
+
+    Models BerkStan/Orkut's "one node with degree Δ much larger than any
+    other" that motivates neighbor buffering (§3.2, Figure 5).
+    """
+    if not 0 < hub_fraction <= 1:
+        raise GraphError("hub_fraction must lie in (0, 1]")
+    rng = ensure_rng(rng)
+    base = barabasi_albert(n - 1, base_attach, rng)
+    edges = list(base.edges())
+    hub = n - 1
+    spoke_count = max(1, int(hub_fraction * (n - 1)))
+    spokes = rng.choice(n - 1, size=spoke_count, replace=False)
+    edges.extend((int(s), hub) for s in spokes)
+    return Graph.from_edges(edges, n=n)
+
+
+def lollipop(clique_size: int, tail_length: int) -> Graph:
+    """The (clique_size, tail_length) lollipop graph of Theorem 5.
+
+    A clique with a dangling path: contains Θ(n^k) k-paths (non-induced)
+    but only Θ(n) *induced* k-path graphlets, the worst case for any
+    ``sample(T)``-based algorithm.
+    """
+    if clique_size < 1 or tail_length < 0:
+        raise GraphError("clique_size >= 1 and tail_length >= 0 required")
+    edges = [
+        (u, v) for u in range(clique_size) for v in range(u + 1, clique_size)
+    ]
+    for i in range(tail_length):
+        # The tail hangs off clique vertex 0.
+        a = clique_size + i - 1 if i > 0 else 0
+        b = clique_size + i
+        edges.append((a, b))
+    return Graph.from_edges(edges, n=clique_size + tail_length)
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    return Graph.from_edges(
+        [(u, v) for u in range(n) for v in range(u + 1, n)], n=n
+    )
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n (n >= 3)."""
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    return Graph.from_edges([(i, (i + 1) % n) for i in range(n)], n=n)
+
+
+def path_graph(n: int) -> Graph:
+    """P_n."""
+    if n < 1:
+        raise GraphError("a path needs at least 1 vertex")
+    return Graph.from_edges([(i, i + 1) for i in range(n - 1)], n=n)
+
+
+def star_graph(leaves: int) -> Graph:
+    """K_{1,leaves}: vertex 0 is the center."""
+    if leaves < 0:
+        raise GraphError("leaf count cannot be negative")
+    return Graph.from_edges([(0, i + 1) for i in range(leaves)], n=leaves + 1)

@@ -1,0 +1,254 @@
+"""Compressed sparse row (CSR) undirected simple graph.
+
+Mirrors motivo's input representation (§3.3): each adjacency list is a
+sorted static array, lists of consecutive vertices are contiguous in memory,
+iteration over a vertex's neighbors is a slice, and edge-membership queries
+cost ``O(log d)`` via binary search — exactly what the sampling phase needs
+to turn a sampled treelet into an induced graphlet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Immutable undirected simple graph over vertices ``0..n-1``.
+
+    Construct with :meth:`from_edges` (the general entry point) or directly
+    from validated CSR arrays.  Self-loops and duplicate edges are removed
+    during construction; isolated vertices are allowed (pass ``n``).
+    """
+
+    __slots__ = ("_indptr", "_indices", "_n", "_m", "_csr_cache")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self._indptr = indptr
+        self._indices = indices
+        self._n = indptr.shape[0] - 1
+        self._m = indices.shape[0] // 2
+        self._csr_cache: Optional[sparse.csr_matrix] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        n: Optional[int] = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Parameters
+        ----------
+        edges:
+            Edge endpoints; order and duplicates do not matter, self-loops
+            are dropped.
+        n:
+            Number of vertices.  Defaults to ``1 + max endpoint``.
+        """
+        pairs = np.asarray(list(edges), dtype=np.int64)
+        if pairs.size == 0:
+            pairs = pairs.reshape(0, 2)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise GraphError("edges must be (u, v) pairs")
+        if pairs.size and pairs.min() < 0:
+            raise GraphError("vertex ids must be non-negative")
+        inferred = int(pairs.max()) + 1 if pairs.size else 0
+        if n is None:
+            n = inferred
+        elif n < inferred:
+            raise GraphError(f"n={n} but edges mention vertex {inferred - 1}")
+
+        # Drop self-loops, normalize to u < v, deduplicate.
+        keep = pairs[:, 0] != pairs[:, 1]
+        pairs = pairs[keep]
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        if lo.size:
+            packed = lo * np.int64(n) + hi
+            packed = np.unique(packed)
+            lo = packed // n
+            hi = packed % n
+        # Symmetrize and build CSR via counting sort.
+        heads = np.concatenate([lo, hi])
+        tails = np.concatenate([hi, lo])
+        order = np.lexsort((tails, heads))
+        heads = heads[order]
+        tails = tails[order]
+        counts = np.bincount(heads, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, tails.astype(np.int64))
+
+    @classmethod
+    def empty(cls, n: int) -> "Graph":
+        """Graph on ``n`` vertices with no edges."""
+        if n < 0:
+            raise GraphError("vertex count cannot be negative")
+        return cls(np.zeros(n + 1, dtype=np.int64), np.zeros(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._m
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR concatenated sorted adjacency lists (length ``2m``)."""
+        return self._indices
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        self._check_vertex(v)
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """All vertex degrees as an array."""
+        return np.diff(self._indptr)
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree Δ (appears in the Theorem 3 bound)."""
+        if self._n == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (a zero-copy CSR slice)."""
+        self._check_vertex(v)
+        return self._indices[self._indptr[v]:self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge-membership query in O(log d(u)) via binary search (§3.3)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        row = self.neighbors(u)
+        position = np.searchsorted(row, v)
+        return bool(position < row.size and row[position] == v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate the undirected edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise GraphError(f"vertex {v} outside [0, {self._n})")
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    def adjacency_csr(self) -> sparse.csr_matrix:
+        """The adjacency matrix as a SciPy CSR matrix of float64.
+
+        Used by the vectorized build-up: the neighbor sums of Equation (1)
+        are sparse matrix–vector products.  Cached after the first call.
+        """
+        if self._csr_cache is None:
+            data = np.ones(self._indices.shape[0], dtype=np.float64)
+            self._csr_cache = sparse.csr_matrix(
+                (data, self._indices, self._indptr), shape=(self._n, self._n)
+            )
+        return self._csr_cache
+
+    def induced_adjacency(self, vertices: Sequence[int]) -> np.ndarray:
+        """Dense boolean adjacency of the induced subgraph on ``vertices``.
+
+        The sampling phase calls this to turn a sampled treelet copy into
+        the induced graphlet; cost is O(k^2 log d).
+        """
+        k = len(vertices)
+        out = np.zeros((k, k), dtype=bool)
+        for i in range(k):
+            row = self.neighbors(vertices[i])
+            for j in range(i + 1, k):
+                position = np.searchsorted(row, vertices[j])
+                if position < row.size and row[position] == vertices[j]:
+                    out[i, j] = out[j, i] = True
+        return out
+
+    def subgraph(self, vertices: Sequence[int]) -> "Graph":
+        """Induced subgraph, relabeled to ``0..len(vertices)-1``."""
+        vertex_list = list(vertices)
+        position = {v: i for i, v in enumerate(vertex_list)}
+        if len(position) != len(vertex_list):
+            raise GraphError("subgraph vertices must be distinct")
+        edges = []
+        for i, v in enumerate(vertex_list):
+            for u in self.neighbors(v):
+                j = position.get(int(u))
+                if j is not None and i < j:
+                    edges.append((i, j))
+        return Graph.from_edges(edges, n=len(vertex_list))
+
+    def connected_components(self) -> "list[list[int]]":
+        """Connected components as vertex lists (BFS, iterative)."""
+        seen = np.zeros(self._n, dtype=bool)
+        components = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            queue = [start]
+            seen[start] = True
+            component = []
+            while queue:
+                v = queue.pop()
+                component.append(v)
+                for u in self.neighbors(v):
+                    u = int(u)
+                    if not seen[u]:
+                        seen[u] = True
+                        queue.append(u)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (vacuously true when empty)."""
+        if self._n <= 1:
+            return True
+        return len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._m, self._indices.tobytes()))

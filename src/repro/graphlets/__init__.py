@@ -1,0 +1,44 @@
+"""Graphlet (motif) machinery.
+
+A graphlet is a connected graph on ``k`` nodes.  Motivo packs each graphlet
+adjacency matrix into a 128-bit integer (§3.3, "Graphlets"): the strictly
+upper triangular part, row-major, fits in ``k(k-1)/2 ≤ 120`` bits for
+``k ≤ 16``.  Canonical representatives (Nauty in the paper) are computed
+here with color refinement plus backtracking; spanning-tree counts σ_i come
+from Kirchhoff's theorem and the per-shape table σ_ij from an in-memory run
+of the color-coding build-up, both exactly as in §3.3 ("Spanning trees").
+"""
+
+from repro.graphlets.encoding import (
+    GraphletEncoding,
+    decode_graphlet,
+    encode_adjacency,
+    encode_edges,
+    graphlet_degrees,
+    graphlet_edge_count,
+    is_connected_graphlet,
+    pair_index,
+)
+from repro.graphlets.canonical import canonical_form, are_isomorphic
+from repro.graphlets.enumerate import enumerate_graphlets, graphlet_census
+from repro.graphlets.spanning import (
+    spanning_tree_count,
+    spanning_tree_shape_counts,
+)
+
+__all__ = [
+    "GraphletEncoding",
+    "decode_graphlet",
+    "encode_adjacency",
+    "encode_edges",
+    "graphlet_degrees",
+    "graphlet_edge_count",
+    "is_connected_graphlet",
+    "pair_index",
+    "canonical_form",
+    "are_isomorphic",
+    "enumerate_graphlets",
+    "graphlet_census",
+    "spanning_tree_count",
+    "spanning_tree_shape_counts",
+]

@@ -1,0 +1,116 @@
+"""Canonical graphlet representatives (the paper's Nauty replacement).
+
+Before encoding a sampled graphlet, motivo replaces it with a canonical
+representative of its isomorphism class computed by Nauty (§3.3).  This
+module implements the same service from scratch with the classic
+individualization–refinement scheme:
+
+1. iterated color refinement (1-WL): nodes are repeatedly re-colored by the
+   multiset of their neighbors' colors until the partition stabilizes;
+2. if cells remain non-trivial, each member of the first non-singleton cell
+   is individualized in turn and the search recurses;
+3. each discrete (all-singleton) leaf yields one candidate relabeling; the
+   minimum packed encoding over all leaves is the canonical form.
+
+Correctness: refinement cells are unions of automorphism orbits and the
+cell *order* depends only on isomorphism-invariant signatures, so the set
+of candidate relabelings — and hence their minimum — is identical for
+isomorphic inputs.
+
+Results are memoized; repeated sampling hits the cache almost always.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphletError
+from repro.graphlets.encoding import (
+    GraphletEncoding,
+    adjacency_sets,
+    graphlet_edge_count,
+    relabel,
+)
+
+__all__ = ["canonical_form", "are_isomorphic", "canonical_cache_info"]
+
+_CACHE: Dict[Tuple[int, int], int] = {}
+
+
+def canonical_form(bits: GraphletEncoding, k: int) -> GraphletEncoding:
+    """Minimal packed encoding over the isomorphism class of ``bits``.
+
+    Two k-node graphs are isomorphic iff their canonical forms are equal.
+    """
+    if k < 1:
+        raise GraphletError("graphlet size must be positive")
+    if k <= 2:
+        return bits  # 0 or 1 possible edges: already canonical.
+    key = (k, bits)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    edge_count = graphlet_edge_count(bits)
+    full = k * (k - 1) // 2
+    if edge_count in (0, full):
+        # Empty or complete: every labeling is identical.
+        _CACHE[key] = bits
+        return bits
+
+    adjacency = adjacency_sets(bits, k)
+    best: List[Optional[int]] = [None]
+
+    def refine(colors: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Stable 1-WL partition with canonical (signature-sorted) ids."""
+        while True:
+            signatures = [
+                (colors[v], tuple(sorted(colors[u] for u in adjacency[v])))
+                for v in range(k)
+            ]
+            palette = {sig: i for i, sig in enumerate(sorted(set(signatures)))}
+            new_colors = tuple(palette[sig] for sig in signatures)
+            if new_colors == colors:
+                return colors
+            colors = new_colors
+
+    def search(colors: Tuple[int, ...]) -> None:
+        colors = refine(colors)
+        cells: Dict[int, List[int]] = {}
+        for v, color in enumerate(colors):
+            cells.setdefault(color, []).append(v)
+        target_cell = None
+        for color in sorted(cells):
+            if len(cells[color]) > 1:
+                target_cell = cells[color]
+                break
+        if target_cell is None:
+            # Discrete partition: node with color c goes to position c.
+            permutation = [0] * k
+            for v, color in enumerate(colors):
+                permutation[v] = color
+            candidate = relabel(bits, k, permutation)
+            if best[0] is None or candidate < best[0]:
+                best[0] = candidate
+            return
+        for v in target_cell:
+            # Individualize v: give it a color preceding its cell-mates.
+            branched = tuple(
+                c if u != v else -1 for u, c in enumerate(colors)
+            )
+            search(branched)
+
+    search(tuple(0 for _ in range(k)))
+    assert best[0] is not None
+    _CACHE[key] = best[0]
+    return best[0]
+
+
+def are_isomorphic(bits_a: GraphletEncoding, bits_b: GraphletEncoding, k: int) -> bool:
+    """Whether two packed k-node graphs are isomorphic."""
+    return canonical_form(bits_a, k) == canonical_form(bits_b, k)
+
+
+def canonical_cache_info() -> "tuple[int,]":
+    """Size of the memoization cache (for diagnostics)."""
+    return (len(_CACHE),)

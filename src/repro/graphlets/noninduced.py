@@ -1,0 +1,134 @@
+"""Induced ↔ non-induced count conversion.
+
+The paper (§1): "we are talking about induced copies; non-induced copies
+are easier to count and can be derived from the induced ones."  The
+derivation is linear: a non-induced copy of ``H`` lives inside the induced
+subgraph on its vertex set, so
+
+    noninduced(H) = Σ_{H' ⊇ H, |H'| = k} occ(H, H') · induced(H')
+
+where ``occ(H, H')`` counts the subgraphs of ``H'`` on the *same k
+vertices* isomorphic to ``H``.  That overlap matrix is computed once per
+``k`` by permutation counting (embeddings of H into H' divided by |Aut(H)|)
+and cached; both directions of the conversion are exposed (the matrix is
+unitriangular when graphlets are ordered by edge count, so inversion is
+exact back-substitution over the rationals).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import GraphletError
+from repro.graphlets.canonical import canonical_form
+from repro.graphlets.encoding import (
+    GraphletEncoding,
+    graphlet_edge_count,
+    relabel,
+)
+from repro.graphlets.enumerate import enumerate_graphlets
+
+__all__ = [
+    "automorphism_count",
+    "occurrence_count",
+    "noninduced_counts",
+    "induced_counts",
+    "overlap_matrix",
+]
+
+
+@lru_cache(maxsize=65536)
+def automorphism_count(bits: GraphletEncoding, k: int) -> int:
+    """|Aut(H)|: permutations of the k nodes mapping H onto itself."""
+    if k < 1:
+        raise GraphletError("graphlet size must be positive")
+    return sum(
+        1
+        for perm in permutations(range(k))
+        if relabel(bits, k, perm) == bits
+    )
+
+
+@lru_cache(maxsize=65536)
+def occurrence_count(
+    sub_bits: GraphletEncoding, super_bits: GraphletEncoding, k: int
+) -> int:
+    """Spanning subgraphs of ``super`` isomorphic to ``sub``.
+
+    Counts labeled embeddings (permutations π with π(sub) ⊆ super) and
+    divides by |Aut(sub)| — each subgraph copy is hit once per
+    automorphism.
+    """
+    embeddings = sum(
+        1
+        for perm in permutations(range(k))
+        if relabel(sub_bits, k, perm) & ~super_bits == 0
+    )
+    return embeddings // automorphism_count(sub_bits, k)
+
+
+@lru_cache(maxsize=None)
+def overlap_matrix(k: int) -> Tuple[Tuple[int, ...], ...]:
+    """occ(H_i, H_j) over all canonical k-graphlets, row = sub, col = super.
+
+    Graphlets are indexed in ``enumerate_graphlets(k)`` order; the matrix
+    has occ(H, H) = 1 on the diagonal and occ(H, H') = 0 whenever H has
+    more edges than H', so ordering by edge count makes it unitriangular.
+    """
+    graphlets = enumerate_graphlets(k)
+    return tuple(
+        tuple(
+            occurrence_count(sub, sup, k) for sup in graphlets
+        )
+        for sub in graphlets
+    )
+
+
+def noninduced_counts(
+    induced: Mapping[int, float], k: int
+) -> Dict[int, float]:
+    """Non-induced copy counts from induced ones (the §1 derivation)."""
+    graphlets = enumerate_graphlets(k)
+    index = {bits: i for i, bits in enumerate(graphlets)}
+    for bits in induced:
+        if canonical_form(bits, k) not in index:
+            raise GraphletError(f"not a canonical k-graphlet: {bits:#x}")
+    matrix = overlap_matrix(k)
+    out: Dict[int, float] = {}
+    for i, sub in enumerate(graphlets):
+        total = 0.0
+        for sup, value in induced.items():
+            total += matrix[i][index[sup]] * value
+        if total:
+            out[sub] = total
+    return out
+
+
+def induced_counts(
+    noninduced: Mapping[int, float], k: int
+) -> Dict[int, float]:
+    """Invert :func:`noninduced_counts` by back-substitution.
+
+    Graphlets sorted by decreasing edge count make the system triangular:
+    the densest graphlet's induced and non-induced counts coincide, and
+    each sparser one subtracts its occurrences inside denser classes.
+    """
+    graphlets = enumerate_graphlets(k)
+    index = {bits: i for i, bits in enumerate(graphlets)}
+    matrix = overlap_matrix(k)
+    order = sorted(
+        range(len(graphlets)),
+        key=lambda i: -graphlet_edge_count(graphlets[i]),
+    )
+    solved: Dict[int, float] = {}
+    for i in order:
+        sub = graphlets[i]
+        value = float(noninduced.get(sub, 0.0))
+        for sup, sup_value in solved.items():
+            j = index[sup]
+            if j != i:
+                value -= matrix[i][j] * sup_value
+        solved[sub] = value
+    return {bits: value for bits, value in solved.items() if value}

@@ -1,0 +1,38 @@
+"""The sampling phase: estimators over the treelet urn (§2.2, §4, §5).
+
+``occurrences``
+    Turns a sampled treelet copy (a vertex set) into its induced canonical
+    graphlet — the sampling phase's inner loop.
+``naive``
+    CC's standard sampling: uniform treelet draws, indicator estimators,
+    the 1/s additive-error regime.
+``ags``
+    Adaptive graphlet sampling: the online greedy fractional-set-cover
+    strategy that switches treelet shapes as graphlets get covered,
+    yielding multiplicative guarantees for rare graphlets.
+``estimates``
+    The result container plus the paper's error metrics: per-graphlet
+    count error err_H (Equation 4), ℓ1 distance of the graphlet frequency
+    distribution, and the ±50% accuracy census of Figure 9.
+"""
+
+from repro.sampling.occurrences import GraphletClassifier
+from repro.sampling.naive import naive_estimate
+from repro.sampling.ags import AGSResult, ags_estimate
+from repro.sampling.estimates import (
+    GraphletEstimates,
+    accuracy_census,
+    count_errors,
+    l1_error,
+)
+
+__all__ = [
+    "GraphletClassifier",
+    "naive_estimate",
+    "AGSResult",
+    "ags_estimate",
+    "GraphletEstimates",
+    "accuracy_census",
+    "count_errors",
+    "l1_error",
+]

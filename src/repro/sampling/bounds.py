@@ -1,0 +1,248 @@
+"""Concentration bounds from the paper (Theorems 2 and 3, §3.4 guidance).
+
+Theorem 2 (additive, from the CC paper):
+
+    Pr[|ĝ_i − g_i| > 2εg/(1−ε)] = exp(−Ω(ε² g^{1/k}))
+
+Theorem 3 (multiplicative, proved in Appendix A via the dependent-variable
+bound of Dubhashi–Panconesi):
+
+    Pr[|ĝ_i − g_i| > ε g_i] < 2 exp(− 2ε² p_k g_i / ((k−1)! Δ^{k−2}))
+
+These make the coloring variance *quantitative*: the library exposes them
+so callers can (a) check whether a single coloring suffices for a target
+accuracy, (b) compute how many independent colorings to average (the
+failure probability decays exponentially in the number of colorings γ),
+and (c) pick the biased-coloring λ — §3.4's rule that the loss stays
+negligible while ``λ^{k-1} n / Δ^{k-2}`` is large, plus the paper's
+grow-λ-until-counts-appear search procedure.
+"""
+
+from __future__ import annotations
+
+from math import ceil, exp, factorial, log
+from typing import Optional
+
+from repro.errors import SamplingError
+from repro.graph.graph import Graph
+from repro.util.combinatorics import (
+    biased_colorful_probability,
+    colorful_probability,
+)
+
+__all__ = [
+    "theorem2_failure_probability",
+    "theorem3_failure_probability",
+    "colorings_for_guarantee",
+    "minimum_count_for_guarantee",
+    "suggest_lambda",
+]
+
+
+def theorem2_failure_probability(
+    epsilon: float, k: int, total_graphlets: float, constant: float = 1.0
+) -> float:
+    """Theorem 2's additive bound: exp(−Ω(ε² g^{1/k})).
+
+    ``g`` is the *total* number of induced k-graphlet copies; the hidden
+    constant is exposed as a parameter (the bound is asymptotic).  Useful
+    only for comparison against Theorem 3 — the additive error ``2εg``
+    can dwarf rare graphlets entirely, which is the paper's motivation
+    for proving the multiplicative version.
+    """
+    if epsilon <= 0:
+        raise SamplingError("epsilon must be positive")
+    if k < 2 or total_graphlets < 0:
+        raise SamplingError("need k >= 2 and a non-negative total")
+    return min(
+        1.0, exp(-constant * epsilon**2 * total_graphlets ** (1.0 / k))
+    )
+
+
+def theorem3_failure_probability(
+    epsilon: float,
+    k: int,
+    graphlet_count: float,
+    max_degree: int,
+    colorful_p: Optional[float] = None,
+) -> float:
+    """Theorem 3's bound on Pr[|ĝ_i − g_i| > ε g_i] for one coloring.
+
+    Parameters
+    ----------
+    epsilon:
+        Target relative error.
+    k:
+        Motif size.
+    graphlet_count:
+        The (true or estimated) number g_i of copies of the graphlet.
+    max_degree:
+        Δ of the host graph.
+    colorful_p:
+        The coloring's colorful probability p_k; defaults to the uniform
+        ``k!/k^k`` (pass the biased value to see §3.4's accuracy loss).
+    """
+    if epsilon <= 0:
+        raise SamplingError("epsilon must be positive")
+    if k < 2:
+        raise SamplingError("k must be at least 2")
+    if graphlet_count < 0 or max_degree < 1:
+        raise SamplingError("need graphlet_count >= 0 and max_degree >= 1")
+    p = colorful_probability(k) if colorful_p is None else colorful_p
+    chi = factorial(k - 1) * max_degree ** (k - 2)
+    exponent = 2.0 * epsilon**2 * p * graphlet_count / chi
+    return min(1.0, 2.0 * exp(-exponent))
+
+
+def colorings_for_guarantee(
+    epsilon: float,
+    delta: float,
+    k: int,
+    graphlet_count: float,
+    max_degree: int,
+    colorful_p: Optional[float] = None,
+) -> int:
+    """Number of independent colorings to average for a (ε, δ) guarantee.
+
+    Averaging over γ colorings drives the Theorem 3 failure probability
+    to (single-coloring bound)^Ω(γ); this solves for the γ making the
+    bound at most δ (capped at one when a single coloring already
+    suffices, and raising when the single-coloring bound is vacuous).
+    """
+    if not 0 < delta < 1:
+        raise SamplingError("delta must lie in (0, 1)")
+    single = theorem3_failure_probability(
+        epsilon, k, graphlet_count, max_degree, colorful_p
+    )
+    if single >= 1.0:
+        raise SamplingError(
+            "the single-coloring bound is vacuous for these parameters; "
+            "increase the graphlet count or epsilon"
+        )
+    if single <= delta:
+        return 1
+    return int(ceil(log(delta) / log(single)))
+
+
+def minimum_count_for_guarantee(
+    epsilon: float,
+    delta: float,
+    k: int,
+    max_degree: int,
+    colorful_p: Optional[float] = None,
+) -> float:
+    """Smallest g_i for which one coloring gives the (ε, δ) guarantee.
+
+    Inverts Theorem 3; §3.4 uses exactly this inversion to argue biased
+    coloring is safe "as long as λ^{k-1} n / Δ^{k-2} is large".
+    """
+    if not 0 < delta < 1:
+        raise SamplingError("delta must lie in (0, 1)")
+    if epsilon <= 0:
+        raise SamplingError("epsilon must be positive")
+    p = colorful_probability(k) if colorful_p is None else colorful_p
+    chi = factorial(k - 1) * max_degree ** (k - 2)
+    return chi * log(2.0 / delta) / (2.0 * epsilon**2 * p)
+
+
+def suggest_lambda(
+    graph: Graph,
+    k: int,
+    b: float = 4.0,
+    target_fraction: float = 0.01,
+    growth: float = 1.6,
+    probe_size: int = 4,
+    rng=None,
+) -> float:
+    """§3.4's search for a good biased-coloring λ.
+
+    "Start with λ = 1/(b (k−1) n) for some appropriate b > 1.  By
+    Markov's inequality, with probability 1 − 1/b all v ∈ G have the same
+    color and thus the table count is empty for all j.  Grow λ
+    progressively until a small but non-negligible fraction of counts are
+    positive."
+
+    The probe builds only the cheap low levels (up to ``probe_size``) of
+    the table and measures the fraction of positive pairs *at the deepest
+    probed level* — shallow levels fill up long before the size-k table
+    has any mass, so they are not informative.  Returns the first λ whose
+    fraction reaches ``target_fraction`` (or the uniform 1/k when even
+    that is exceeded — then bias buys nothing).
+    """
+    from repro.colorcoding.buildup import build_table
+    from repro.colorcoding.coloring import ColoringScheme
+    from repro.treelets.registry import TreeletRegistry
+    from repro.util.combinatorics import binomial, rooted_tree_count
+
+    if k < 2:
+        raise SamplingError("k must be at least 2")
+    probe_size = max(2, min(probe_size, k))
+    n = graph.num_vertices
+    if n == 0:
+        raise SamplingError("cannot tune lambda on an empty graph")
+    lam = 1.0 / (b * (k - 1) * n)
+    ceiling = 1.0 / (k - 1)
+    uniform = 1.0 / k
+    registry = TreeletRegistry(probe_size)
+
+    # Only the deepest probed level counts: level-1 entries are positive
+    # under any coloring and shallow levels saturate early ("the table
+    # count is empty for all j" in §3.4 refers to the deep levels).
+    possible_pairs = n * rooted_tree_count(probe_size) * binomial(
+        k, probe_size
+    )
+
+    while lam < min(ceiling, uniform):
+        coloring = ColoringScheme.biased(n, k, lam=lam, rng=rng)
+        # Probe: run the DP only up to probe_size by building with a
+        # registry for the probe size and the full-k color universe.
+        probe = _probe_positive_fraction(
+            graph, coloring, registry, probe_size, possible_pairs
+        )
+        if probe >= target_fraction:
+            return lam
+        lam *= growth
+    return uniform
+
+
+def _probe_positive_fraction(
+    graph, coloring, registry, probe_size, possible_pairs
+) -> float:
+    """Fraction of positive (key, vertex) pairs among the probe levels."""
+    import numpy as np
+
+    from repro.util.bitops import iter_subsets_of_size, masks_of_size
+    from repro.treelets.encoding import getsize
+
+    n = graph.num_vertices
+    adjacency = graph.adjacency_csr()
+    k = coloring.k
+    layers = {1: {}}
+    for color in range(k):
+        indicator = coloring.indicator(color)
+        if indicator.any():
+            layers[1][(0, 1 << color)] = indicator
+    positive = 0
+    for h in range(2, probe_size + 1):
+        layers[h] = {}
+        for treelet in registry.treelets_of_size(h):
+            t_prime, t_second, beta_t = registry.decomposition(treelet)
+            h_second = getsize(t_second)
+            for mask in masks_of_size(k, h):
+                accumulated = None
+                for sub_mask in iter_subsets_of_size(mask, h_second):
+                    second = layers[h_second].get((t_second, sub_mask))
+                    if second is None:
+                        continue
+                    prime = layers[h - h_second].get(
+                        (t_prime, mask ^ sub_mask)
+                    )
+                    if prime is None:
+                        continue
+                    term = prime * adjacency.dot(second)
+                    accumulated = term if accumulated is None else accumulated + term
+                if accumulated is not None and accumulated.any():
+                    layers[h][(treelet, mask)] = accumulated / beta_t
+                    if h == probe_size:
+                        positive += int(np.count_nonzero(accumulated))
+    return positive / possible_pairs

@@ -1,0 +1,189 @@
+"""Estimate containers and the paper's error metrics (§5.2).
+
+``err_H`` (Equation 4)
+    ``(ĉ_H - c_H) / c_H`` — 0 for a perfect estimate, −1 for a missed
+    graphlet (Figure 8 plots its distribution).
+``ℓ1 error``
+    ``Σ_i |f̂_i - f_i|`` over graphlet *frequencies* (the paper reports
+    < 5% always, < 2.5% for k ≤ 7).
+``accuracy census``
+    How many graphlets (absolute and as a fraction of the ground-truth
+    support) are estimated within ±50% (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "GraphletEstimates",
+    "count_errors",
+    "l1_error",
+    "accuracy_census",
+    "rarest_frequency",
+]
+
+
+@dataclass
+class GraphletEstimates:
+    """Estimated induced-copy counts for every observed k-graphlet.
+
+    Attributes
+    ----------
+    k:
+        Motif size.
+    counts:
+        Canonical graphlet encoding → estimated number of induced copies
+        ``ĝ_i`` in the (uncolored) host graph.
+    samples:
+        Number of urn samples the estimate is based on.
+    hits:
+        Canonical encoding → how many samples landed on that graphlet.
+    method:
+        ``"naive"`` or ``"ags"`` (or ``"exact"`` for ground truth).
+    """
+
+    k: int
+    counts: Dict[int, float]
+    samples: int = 0
+    hits: Dict[int, int] = field(default_factory=dict)
+    method: str = "naive"
+
+    @property
+    def total(self) -> float:
+        """Estimated total number of induced k-graphlet copies ``ĝ``."""
+        return float(sum(self.counts.values()))
+
+    def frequency(self, bits: int) -> float:
+        """Estimated relative frequency ``f̂_i = ĝ_i / ĝ``."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return self.counts.get(bits, 0.0) / total
+
+    def frequencies(self) -> Dict[int, float]:
+        """All estimated frequencies (sums to 1 when non-empty)."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {bits: value / total for bits, value in self.counts.items()}
+
+    def top(self, limit: int = 10) -> "list[tuple[int, float]]":
+        """The ``limit`` most frequent graphlets, largest first."""
+        ranked = sorted(self.counts.items(), key=lambda kv: -kv[1])
+        return ranked[:limit]
+
+    def distinct_graphlets(self) -> int:
+        """Number of graphlets with a positive estimate."""
+        return sum(1 for value in self.counts.values() if value > 0)
+
+    # ------------------------------------------------------------------
+    # Serialization (CLI --output, experiment pipelines)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document (keys as hex graphlet encodings)."""
+        import json
+
+        return json.dumps(
+            {
+                "k": self.k,
+                "method": self.method,
+                "samples": self.samples,
+                "counts": {f"{bits:#x}": v for bits, v in self.counts.items()},
+                "hits": {f"{bits:#x}": h for bits, h in self.hits.items()},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphletEstimates":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        payload = json.loads(text)
+        return cls(
+            k=int(payload["k"]),
+            counts={
+                int(bits, 16): float(v)
+                for bits, v in payload["counts"].items()
+            },
+            samples=int(payload.get("samples", 0)),
+            hits={
+                int(bits, 16): int(h)
+                for bits, h in payload.get("hits", {}).items()
+            },
+            method=str(payload.get("method", "naive")),
+        )
+
+
+def count_errors(
+    estimates: GraphletEstimates, truth: Mapping[int, float]
+) -> Dict[int, float]:
+    """Per-graphlet count error err_H = (ĉ - c)/c over the truth support.
+
+    Graphlets absent from the estimate get err_H = −1 ("missed"), exactly
+    how Figure 8 accounts for them.
+    """
+    errors: Dict[int, float] = {}
+    for bits, true_count in truth.items():
+        if true_count <= 0:
+            continue
+        estimated = estimates.counts.get(bits, 0.0)
+        errors[bits] = (estimated - true_count) / true_count
+    return errors
+
+
+def l1_error(
+    estimates: GraphletEstimates, truth: Mapping[int, float]
+) -> float:
+    """ℓ1 distance between estimated and true frequency distributions."""
+    true_total = float(sum(truth.values()))
+    if true_total <= 0:
+        raise ValueError("ground truth has no graphlets")
+    estimated = estimates.frequencies()
+    keys = set(truth) | set(estimated)
+    return sum(
+        abs(estimated.get(bits, 0.0) - truth.get(bits, 0.0) / true_total)
+        for bits in keys
+    )
+
+
+def accuracy_census(
+    estimates: GraphletEstimates,
+    truth: Mapping[int, float],
+    tolerance: float = 0.5,
+) -> Tuple[int, float]:
+    """(count, fraction) of graphlets within ±tolerance of the truth.
+
+    The Figure 9 metric with its default ±50% tolerance.
+    """
+    support = [bits for bits, count in truth.items() if count > 0]
+    if not support:
+        raise ValueError("ground truth has no graphlets")
+    accurate = 0
+    for bits in support:
+        true_count = truth[bits]
+        estimated = estimates.counts.get(bits, 0.0)
+        if abs(estimated - true_count) <= tolerance * true_count:
+            accurate += 1
+    return accurate, accurate / len(support)
+
+
+def rarest_frequency(
+    estimates: GraphletEstimates, min_hits: int = 10
+) -> Optional[float]:
+    """Frequency of the rarest graphlet seen in ≥ ``min_hits`` samples.
+
+    The Figure 10 metric — filtering by hits discards graphlets observed
+    "just by chance".  Returns ``None`` when nothing qualifies.
+    """
+    frequencies = estimates.frequencies()
+    qualifying = [
+        frequencies[bits]
+        for bits, hit_count in estimates.hits.items()
+        if hit_count >= min_hits and frequencies.get(bits, 0.0) > 0
+    ]
+    return min(qualifying) if qualifying else None

@@ -1,0 +1,88 @@
+"""Naive (CC-style) sampling: uniform treelet draws, indicator estimators.
+
+Section 2.2's estimator: draw a colorful k-treelet copy uniformly at
+random; the probability that it spans an occurrence of graphlet ``H_i`` is
+``c_i σ_i / t`` where ``c_i`` is the number of colorful copies of ``H_i``,
+``σ_i`` its number of spanning trees and ``t`` the total number of
+colorful k-treelets.  Hence, with ``x_i`` hits among ``s`` samples,
+
+    ĉ_i = (x_i / s) * t / σ_i          (colorful copies)
+    ĝ_i = ĉ_i / p_k                    (all copies; p_k from the coloring)
+
+Rare graphlets need Θ(t / (c_i σ_i)) samples to be seen even once — the
+additive error barrier AGS breaks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.colorcoding.urn import TreeletUrn
+from repro.errors import SamplingError
+from repro.graphlets.spanning import spanning_tree_count
+from repro.sampling.estimates import GraphletEstimates
+from repro.sampling.occurrences import GraphletClassifier
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["naive_estimate", "naive_hit_counts"]
+
+
+def naive_hit_counts(
+    urn: TreeletUrn,
+    classifier: GraphletClassifier,
+    num_samples: int,
+    rng: RngLike = None,
+) -> Counter:
+    """Raw sampling loop: canonical graphlet encoding → number of hits."""
+    if num_samples < 1:
+        raise SamplingError("need at least one sample")
+    rng = ensure_rng(rng)
+    hits: Counter = Counter()
+    for _ in range(num_samples):
+        vertices, _treelet, _mask = urn.sample(rng)
+        hits[classifier.classify(vertices)] += 1
+    return hits
+
+
+def naive_estimate(
+    urn: TreeletUrn,
+    classifier: GraphletClassifier,
+    num_samples: int,
+    rng: RngLike = None,
+    sigma: Optional[Dict[int, int]] = None,
+) -> GraphletEstimates:
+    """Full naive estimator: sample, classify, convert hits to counts.
+
+    Parameters
+    ----------
+    urn, classifier:
+        The sampling engine and the induced-graphlet classifier.
+    num_samples:
+        The sample budget ``s``.
+    sigma:
+        Optional precomputed spanning-tree counts (canonical encoding →
+        σ_i); missing entries are computed via Kirchhoff on demand.
+    """
+    rng = ensure_rng(rng)
+    hits = naive_hit_counts(urn, classifier, num_samples, rng)
+    k = classifier.k
+    total_treelets = urn.total_treelets
+    colorful_p = urn.coloring.colorful_probability()
+    sigma = dict(sigma) if sigma else {}
+
+    counts: Dict[int, float] = {}
+    for bits, hit_count in hits.items():
+        sigma_i = sigma.get(bits)
+        if sigma_i is None:
+            sigma_i = spanning_tree_count(bits, k)
+            sigma[bits] = sigma_i
+        colorful_estimate = (hit_count / num_samples) * total_treelets / sigma_i
+        counts[bits] = colorful_estimate / colorful_p
+    return GraphletEstimates(
+        k=k,
+        counts=counts,
+        samples=num_samples,
+        hits=dict(hits),
+        method="naive",
+    )

@@ -1,0 +1,68 @@
+"""From treelet copies to induced graphlets (§2.2).
+
+The key observation of the color-coding sampling framework: it suffices to
+sample colorful *non-induced treelet* copies; taking the subgraph induced
+by the sampled vertices yields the graphlet occurrence.  This module does
+that second step: query the ``k(k-1)/2`` candidate edges with the CSR
+binary search, pack them, and canonicalize.
+
+Canonicalization results are memoized globally (by raw packed bits), and
+the per-classifier cache keyed by the *sorted vertex tuple* additionally
+short-circuits repeated samples of the same occurrence, which are frequent
+on skewed graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import SamplingError
+from repro.graph.graph import Graph
+from repro.graphlets.canonical import canonical_form
+from repro.graphlets.encoding import pair_index
+
+__all__ = ["GraphletClassifier"]
+
+
+class GraphletClassifier:
+    """Classifies vertex sets of size ``k`` into canonical graphlets."""
+
+    def __init__(self, graph: Graph, k: int, cache_limit: int = 200_000):
+        if k < 2:
+            raise SamplingError("graphlet classification needs k >= 2")
+        self.graph = graph
+        self.k = k
+        self.cache_limit = cache_limit
+        self._by_vertices: Dict[Tuple[int, ...], int] = {}
+        self.classified = 0
+        self.cache_hits = 0
+
+    def induced_bits(self, vertices: Sequence[int]) -> int:
+        """Packed adjacency bits of the subgraph induced by ``vertices``."""
+        k = self.k
+        if len(vertices) != k:
+            raise SamplingError(
+                f"expected {k} vertices, got {len(vertices)}"
+            )
+        if len(set(vertices)) != k:
+            raise SamplingError(f"vertices are not distinct: {vertices}")
+        graph = self.graph
+        bits = 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                if graph.has_edge(int(vertices[i]), int(vertices[j])):
+                    bits |= 1 << pair_index(i, j, k)
+        return bits
+
+    def classify(self, vertices: Sequence[int]) -> int:
+        """Canonical graphlet encoding of the induced subgraph."""
+        self.classified += 1
+        key = tuple(sorted(int(v) for v in vertices))
+        cached = self._by_vertices.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = canonical_form(self.induced_bits(key), self.k)
+        if len(self._by_vertices) < self.cache_limit:
+            self._by_vertices[key] = result
+        return result

@@ -1,0 +1,22 @@
+"""Treelet count tables — the "urn" storage (paper §3.1).
+
+The build-up phase produces, for every vertex ``v`` and every colorful
+rooted treelet ``T_C`` on up to ``k`` nodes, the count ``c(T_C, v)`` of
+copies of ``T_C`` rooted at ``v``.  CC keeps one hash table per vertex
+keyed by treelet pointers; motivo replaces this with sorted compact records
+of ``(packed key, cumulative count)`` pairs supporting ``occ``, ``iter``
+and ``sample`` in O(k).
+
+Here :class:`~repro.table.count_table.CountTable` is the motivo-style
+structure (columnar over vertices, sorted by packed key, cumulative sums
+available), :class:`~repro.table.hash_table.HashCountTable` is the CC
+baseline, and :mod:`repro.table.flush` adds greedy flushing to disk with
+memory-mapped reads (§3.1 "Greedy flushing" and §3.3 "Memory-mapped
+reads").
+"""
+
+from repro.table.count_table import CountTable, Layer
+from repro.table.hash_table import HashCountTable
+from repro.table.flush import SpillStore
+
+__all__ = ["CountTable", "Layer", "HashCountTable", "SpillStore"]

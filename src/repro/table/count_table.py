@@ -1,0 +1,267 @@
+"""Motivo's compact treelet count table (§3.1, "Motivo's count table").
+
+Layout.  The paper stores, for each vertex ``v`` and treelet size ``h``, a
+record: an array of ``(packed colored-treelet key, cumulative count η)``
+pairs sorted by key.  This module stores the same information *columnar*:
+one :class:`Layer` per size ``h`` holding the sorted key list (shared by
+all vertices — a key absent at a vertex simply has count 0) and a dense
+``num_keys × n`` count matrix.  A per-vertex record is a column; the
+paper's operations map directly:
+
+``occ(v)``            column sum of the size-k layer — O(1) (precomputed);
+``occ(T_C, v)``       binary search on the sorted keys, then one lookup;
+``iter(T, v)``        the contiguous key range of treelet ``T``;
+``sample(v)``         draw R ≤ η_v u.a.r., binary-search the cumulative
+                      column — O(k) as in the paper.
+
+The columnar layout is what lets the build-up phase be vectorized, and it
+stores each pair once per vertex exactly like the row layout; cumulative
+sums are materialized per layer on demand (``cumulative()``), reproducing
+the paper's η records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.treelets.encoding import getsize
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["Layer", "CountTable"]
+
+Key = Tuple[int, int]  # (treelet encoding, color mask)
+
+#: Paper's storage cost per stored pair: 48-bit packed key + 128-bit count.
+PAPER_BITS_PER_PAIR = 176
+#: CC's storage cost per pair: 64-bit pointer + 64-bit count.
+CC_BITS_PER_PAIR = 128
+
+
+class Layer:
+    """All counts for treelets of one size ``h``: sorted keys × vertices."""
+
+    __slots__ = ("size", "keys", "key_rows", "counts", "_cumulative", "_totals")
+
+    def __init__(self, size: int, keys: Sequence[Key], counts: np.ndarray):
+        expected = len(keys)
+        if counts.ndim != 2 or counts.shape[0] != expected:
+            raise TableError(
+                f"counts matrix must be ({expected} x n), got {counts.shape}"
+            )
+        order = sorted(range(expected), key=lambda i: keys[i])
+        self.size = size
+        self.keys: List[Key] = [keys[i] for i in order]
+        if expected and order != list(range(expected)):
+            self.counts = counts[order]
+        else:
+            # Already key-sorted: keep the original array so memory-mapped
+            # inputs (the §3.3 mmap read path) stay memory-mapped.
+            self.counts = counts
+        self.key_rows: Dict[Key, int] = {
+            key: row for row, key in enumerate(self.keys)
+        }
+        if len(self.key_rows) != expected:
+            raise TableError("duplicate keys in layer")
+        self._cumulative: Optional[np.ndarray] = None
+        self._totals: Optional[np.ndarray] = None
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct colored treelets stored in this layer."""
+        return len(self.keys)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertex columns."""
+        return self.counts.shape[1]
+
+    def row_of(self, treelet: int, mask: int) -> Optional[int]:
+        """Row index of a key, or None when the key has no stored counts."""
+        return self.key_rows.get((treelet, mask))
+
+    def counts_for(self, treelet: int, mask: int) -> Optional[np.ndarray]:
+        """Count vector over all vertices for one colored treelet."""
+        row = self.row_of(treelet, mask)
+        return None if row is None else self.counts[row]
+
+    def treelet_rows(self, treelet: int) -> "list[int]":
+        """Rows belonging to one (uncolored) treelet — a contiguous range."""
+        return [
+            row for row, (t, _mask) in enumerate(self.keys) if t == treelet
+        ]
+
+    def totals(self) -> np.ndarray:
+        """Per-vertex total count over every key of the layer (η_v)."""
+        if self._totals is None:
+            self._totals = self.counts.sum(axis=0)
+        return self._totals
+
+    def cumulative(self) -> np.ndarray:
+        """Per-vertex running sums over keys — the paper's η records.
+
+        Row ``r`` of the result at column ``v`` equals
+        ``sum(counts[0..r, v])``; the last row is ``totals()``.
+        """
+        if self._cumulative is None:
+            self._cumulative = np.cumsum(self.counts, axis=0)
+        return self._cumulative
+
+    def nonzero_pairs(self) -> int:
+        """Number of stored (key, vertex) pairs with a positive count.
+
+        This is the quantity the paper's space accounting multiplies by
+        176 bits (motivo) or 128 bits (CC).
+        """
+        return int(np.count_nonzero(self.counts))
+
+
+class CountTable:
+    """The complete treelet count table for sizes ``1..k``.
+
+    Built layer by layer by the build-up phase
+    (:func:`repro.colorcoding.buildup.build_table`); afterwards it is the
+    read-only "urn" storage the sampling phase draws from.
+    """
+
+    def __init__(self, k: int, num_vertices: int, zero_rooted: bool):
+        if k < 2:
+            raise TableError("count tables need k >= 2")
+        self.k = k
+        self.num_vertices = num_vertices
+        #: Whether the size-k layer counts only color-0 rootings (§3.2).
+        self.zero_rooted = zero_rooted
+        self._layers: Dict[int, Layer] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_layer(self, size: int, entries: Dict[Key, np.ndarray]) -> Layer:
+        """Install the counts for one treelet size.
+
+        ``entries`` maps ``(treelet, mask)`` to per-vertex count vectors;
+        zero vectors may be omitted entirely.
+        """
+        if not 1 <= size <= self.k:
+            raise TableError(f"layer size {size} outside [1, {self.k}]")
+        if size in self._layers:
+            raise TableError(f"layer {size} already present")
+        keys = list(entries)
+        for treelet, _mask in keys:
+            if getsize(treelet) != size:
+                raise TableError(
+                    f"key of size {getsize(treelet)} in layer {size}"
+                )
+        if keys:
+            matrix = np.vstack([entries[key] for key in keys])
+        else:
+            matrix = np.zeros((0, self.num_vertices), dtype=np.float64)
+        layer = Layer(size, keys, matrix)
+        self._layers[size] = layer
+        return layer
+
+    def set_layer(self, layer: Layer) -> None:
+        """Install a pre-built layer (used by the spill store reload)."""
+        if layer.size in self._layers:
+            raise TableError(f"layer {layer.size} already present")
+        self._layers[layer.size] = layer
+
+    def drop_layer(self, size: int) -> None:
+        """Release a layer (greedy flushing evicts after spilling)."""
+        self._layers.pop(size, None)
+
+    # ------------------------------------------------------------------
+    # Paper operations
+    # ------------------------------------------------------------------
+
+    def layer(self, size: int) -> Layer:
+        """The layer for one treelet size; raises if absent."""
+        try:
+            return self._layers[size]
+        except KeyError:
+            raise TableError(f"no layer of size {size} in the table") from None
+
+    def has_layer(self, size: int) -> bool:
+        """Whether the layer is resident."""
+        return size in self._layers
+
+    def occ_total(self, v: int) -> float:
+        """``occ(v)``: total k-treelet occurrences rooted at ``v`` — O(1)."""
+        return float(self.layer(self.k).totals()[v])
+
+    def occ(self, treelet: int, mask: int, v: int) -> float:
+        """``occ(T_C, v)``: one colored-treelet count — O(k) binary search."""
+        layer = self.layer(getsize(treelet))
+        row = layer.row_of(treelet, mask)
+        return 0.0 if row is None else float(layer.counts[row, v])
+
+    def iter_treelet(self, treelet: int, v: int) -> Iterator[Tuple[int, float]]:
+        """``iter(T, v)``: (mask, count) pairs of one uncolored treelet."""
+        layer = self.layer(getsize(treelet))
+        for row in layer.treelet_rows(treelet):
+            count = float(layer.counts[row, v])
+            if count:
+                yield layer.keys[row][1], count
+
+    def record(self, v: int, size: int) -> "list[tuple[Key, float]]":
+        """The per-vertex record: nonzero (key, count) pairs, key-sorted."""
+        layer = self.layer(size)
+        column = layer.counts[:, v]
+        return [
+            (layer.keys[row], float(column[row]))
+            for row in np.nonzero(column)[0]
+        ]
+
+    def cumulative_record(self, v: int, size: int) -> "list[tuple[Key, float]]":
+        """The record with running η values, as stored by the paper."""
+        layer = self.layer(size)
+        running = layer.cumulative()[:, v]
+        return [
+            (key, float(running[row])) for row, key in enumerate(layer.keys)
+        ]
+
+    def sample_key(self, v: int, rng: RngLike = None) -> Key:
+        """``sample(v)``: draw ``(T, C)`` with probability ∝ c(T_C, v).
+
+        Implemented exactly as in the paper: draw ``R`` uniform in
+        ``(0, η_v]`` and binary-search the cumulative record.
+        """
+        rng = ensure_rng(rng)
+        layer = self.layer(self.k)
+        running = layer.cumulative()[:, v]
+        total = running[-1] if running.size else 0.0
+        if total <= 0:
+            raise TableError(f"vertex {v} roots no colorful k-treelets")
+        r = rng.random() * total
+        row = int(np.searchsorted(running, r, side="right"))
+        row = min(row, running.size - 1)
+        return layer.keys[row]
+
+    def root_weights(self) -> np.ndarray:
+        """Per-vertex total k-treelet counts (the alias-table weights)."""
+        return self.layer(self.k).totals()
+
+    # ------------------------------------------------------------------
+    # Accounting (Table "count table size", Figure 7 right)
+    # ------------------------------------------------------------------
+
+    def total_pairs(self) -> int:
+        """Stored (key, vertex) pairs with positive counts, all layers."""
+        return sum(layer.nonzero_pairs() for layer in self._layers.values())
+
+    def paper_equivalent_bytes(self) -> int:
+        """Size at the paper's 176 bits/pair motivo costing."""
+        return (self.total_pairs() * PAPER_BITS_PER_PAIR) // 8
+
+    def actual_bytes(self) -> int:
+        """Bytes held by the resident count matrices."""
+        return sum(layer.counts.nbytes for layer in self._layers.values())
+
+    def __repr__(self) -> str:
+        layers = ", ".join(
+            f"{size}:{layer.num_keys}k" for size, layer in sorted(self._layers.items())
+        )
+        return f"CountTable(k={self.k}, n={self.num_vertices}, layers=[{layers}])"

@@ -1,0 +1,99 @@
+"""CC's count table: one hash table per vertex (the §3.1 baseline).
+
+In CC every vertex owns a hash table mapping the *pointer* of a treelet's
+representative instance (plus the color set) to a 64-bit count; each access
+dereferences the pointer to reach the tree structure.  This module keeps
+that design — keyed by interned :class:`~repro.treelets.pointer_tree.PointerTree`
+objects — and is used by the baseline build-up and the space-accounting
+benchmarks (CC is costed at 128 bits per pair, motivo at 176, exactly the
+figures of §3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import TableError
+from repro.table.count_table import CC_BITS_PER_PAIR
+from repro.treelets.pointer_tree import PointerTree, PointerTreeFactory
+
+__all__ = ["HashCountTable"]
+
+Key = Tuple[PointerTree, int]  # (representative instance, color mask)
+
+
+class HashCountTable:
+    """Per-vertex hash tables of ``(pointer, colors) -> count`` (exact ints).
+
+    Counts are Python integers, so unlike CC's 64-bit counters this table
+    never overflows — which also makes it the exact-arithmetic reference
+    the unit tests compare the vectorized build-up against.
+    """
+
+    def __init__(self, k: int, num_vertices: int, factory: PointerTreeFactory):
+        if k < 2:
+            raise TableError("count tables need k >= 2")
+        self.k = k
+        self.num_vertices = num_vertices
+        self.factory = factory
+        self._tables: List[Dict[Key, int]] = [
+            {} for _ in range(num_vertices)
+        ]
+
+    def get(self, v: int, tree: PointerTree, mask: int) -> int:
+        """Count of the colored treelet rooted at ``v`` (0 when absent)."""
+        return self._tables[v].get((tree, mask), 0)
+
+    def add(self, v: int, tree: PointerTree, mask: int, amount: int) -> None:
+        """Accumulate into a count (entries with zero total are kept out)."""
+        if amount == 0:
+            return
+        table = self._tables[v]
+        key = (tree, mask)
+        updated = table.get(key, 0) + amount
+        if updated:
+            table[key] = updated
+        else:
+            table.pop(key, None)
+
+    def set(self, v: int, tree: PointerTree, mask: int, value: int) -> None:
+        """Overwrite one count."""
+        if value:
+            self._tables[v][(tree, mask)] = value
+        else:
+            self._tables[v].pop((tree, mask), None)
+
+    def items_at(
+        self, v: int, size: "int | None" = None
+    ) -> Iterator[Tuple[PointerTree, int, int]]:
+        """Iterate ``(tree, mask, count)`` at a vertex, optionally by size."""
+        for (tree, mask), count in self._tables[v].items():
+            if size is None or tree.size == size:
+                yield tree, mask, count
+
+    def total_at(self, v: int, size: int) -> int:
+        """Sum of counts of one treelet size at a vertex."""
+        return sum(
+            count for _t, _m, count in self.items_at(v, size)
+        )
+
+    def total_pairs(self) -> int:
+        """Number of stored pairs across all vertices."""
+        return sum(len(table) for table in self._tables)
+
+    def paper_equivalent_bytes(self) -> int:
+        """Size at CC's 128 bits/pair costing (64-bit pointer + count)."""
+        return (self.total_pairs() * CC_BITS_PER_PAIR) // 8
+
+    def to_encoding_dict(self) -> "dict[tuple[int, int], dict[int, int]]":
+        """Re-key everything by succinct encoding: {(enc, mask): {v: count}}.
+
+        Used by tests to compare against the vectorized
+        :class:`~repro.table.count_table.CountTable` bit for bit.
+        """
+        out: "dict[tuple[int, int], dict[int, int]]" = {}
+        for v, table in enumerate(self._tables):
+            for (tree, mask), count in table.items():
+                encoding = self.factory.to_encoding(tree)
+                out.setdefault((encoding, mask), {})[v] = count
+        return out

@@ -1,0 +1,56 @@
+"""Succinct rooted-treelet machinery (paper §3.1).
+
+The build-up phase of color coding manipulates *rooted colored treelets*.
+Motivo's key data-structure contribution is to encode a rooted treelet on up
+to 16 nodes as a single machine word (a DFS bit string) so that the frequent
+operations — ``getsize``, ``merge``, ``decomp``, ``sub`` (the β normalizer
+of Equation 1) — cost a handful of elementary instructions.
+
+Submodules
+----------
+encoding
+    The succinct encoding itself plus structural helpers (re-rooting,
+    centroid canonical form for free treelets).
+colored
+    Colored treelet keys: encoding ‖ color-set bitmask, with the total
+    order used by the compact count table.
+registry
+    Exhaustive enumeration of all rooted treelets on ≤ k nodes together
+    with their unique decompositions — the scaffolding of the dynamic
+    program.
+pointer_tree
+    The CC baseline representation: classic pointer-based tree objects with
+    recursive check-and-merge, kept for benchmark comparisons (Figure 2).
+"""
+
+from repro.treelets.encoding import (
+    SINGLETON,
+    beta,
+    canonical_free,
+    children,
+    decomp,
+    encode_parent_vector,
+    getsize,
+    merge,
+    rootings,
+    tree_edges,
+)
+from repro.treelets.colored import ColoredTreelet, color_mask_of, colored_key
+from repro.treelets.registry import TreeletRegistry
+
+__all__ = [
+    "SINGLETON",
+    "beta",
+    "canonical_free",
+    "children",
+    "decomp",
+    "encode_parent_vector",
+    "getsize",
+    "merge",
+    "rootings",
+    "tree_edges",
+    "ColoredTreelet",
+    "color_mask_of",
+    "colored_key",
+    "TreeletRegistry",
+]

@@ -1,0 +1,410 @@
+"""Succinct encoding of rooted treelets (paper §3.1, "Motivo's treelets").
+
+A rooted treelet ``T`` is encoded by the bit string ``s_T`` produced by a
+DFS traversal from the root: the i-th bit is 1 if the i-th edge traversal
+moves *away* from the root and 0 if it moves *towards* it.  A treelet on
+``h`` nodes therefore uses ``2(h-1)`` bits — at most 30 for ``h ≤ 16`` — and
+``getsize`` is one POPCNT: the string contains exactly ``h - 1`` ones.
+
+The children of every node are visited in a fixed total order of their
+subtrees, which makes the encoding *canonical*: isomorphic rooted trees get
+identical strings.  This module uses the order
+
+    ``key(T) = (getsize(T), s_T as integer)``
+
+(first by subtree size, then by encoded value).  The paper orders strings
+purely lexicographically; any fixed total order yields the same algorithmic
+guarantees, and the size-first variant keeps the registry grouped by level,
+which the dynamic program iterates anyway.
+
+Representation.  A string is stored as a single Python integer holding the
+bits MSB-first.  Because the string always has ``popcount`` ones and twice
+that many bits in total, the bit *length* is recoverable from the value
+alone (``2 * popcount``), so no separate length field is needed — exactly
+the property that lets motivo treat padded words uniformly.  The single
+node is encoded as ``0``.
+
+Supported operations (names follow the paper):
+
+``getsize(t)``
+    1 + popcount — O(1).
+``merge(t1, t2)``
+    Attach ``t2`` as the new *first* child of ``t1``'s root:
+    ``1 ‖ s_{t2} ‖ 0 ‖ s_{t1}``.  Constant number of word operations.
+    Raises :class:`~repro.errors.MergeError` when the result would not be
+    canonical (i.e. when ``t2`` is larger than ``t1``'s current first
+    child), mirroring CC's check-and-merge test.
+``decomp(t)``
+    The inverse of ``merge``: split off the first child subtree.  Unique —
+    this is the decomposition of Equation (1).
+``beta(t)``
+    β_T of Equation (1): how many children of the root are isomorphic to
+    the split-off subtree.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import MergeError, TreeletError
+from repro.util.bitops import popcount
+
+__all__ = [
+    "SINGLETON",
+    "getsize",
+    "bit_count",
+    "merge",
+    "can_merge",
+    "decomp",
+    "children",
+    "beta",
+    "encode_children",
+    "encode_parent_vector",
+    "tree_edges",
+    "parent_vector",
+    "rootings",
+    "canonical_free",
+    "centroids",
+    "treelet_key",
+    "to_bit_string",
+    "degree_sequence",
+]
+
+#: Encoding of the one-node treelet (empty traversal string).
+SINGLETON = 0
+
+
+@lru_cache(maxsize=1 << 18)
+def getsize(t: int) -> int:
+    """Number of vertices of the treelet — ``1 + POPCNT(s_T)``."""
+    if t < 0:
+        raise TreeletError("treelet encodings are non-negative integers")
+    return 1 + popcount(t)
+
+
+def bit_count(t: int) -> int:
+    """Length of the encoded traversal string: ``2 * (getsize - 1)``."""
+    return 2 * popcount(t)
+
+
+def treelet_key(t: int) -> Tuple[int, int]:
+    """Total-order key ``(size, encoding)`` used everywhere in the library."""
+    return (getsize(t), t)
+
+
+def to_bit_string(t: int) -> str:
+    """Human-readable 0/1 string of the traversal (empty for the singleton)."""
+    length = bit_count(t)
+    return format(t, f"0{length}b") if length else ""
+
+
+@lru_cache(maxsize=1 << 18)
+def can_merge(t1: int, t2: int) -> bool:
+    """Check-and-merge test: may ``t2`` become the first child of ``t1``?
+
+    True iff ``t1`` has no children (is the singleton) or ``t2`` does not
+    come after ``t1``'s current first child in the total order.  This is the
+    condition CC verifies recursively on pointer trees and motivo verifies
+    with a comparison of words (§3.1).
+    """
+    if t1 == SINGLETON:
+        return True
+    first, _rest = _split_first_block(t1)
+    return treelet_key(t2) <= treelet_key(first)
+
+
+@lru_cache(maxsize=1 << 18)
+def merge(t1: int, t2: int) -> int:
+    """Merge ``t2`` as the new first child of ``t1``'s root.
+
+    The resulting string is ``1 ‖ s_{t2} ‖ 0 ‖ s_{t1}`` — one shift-and-or
+    per operand, as in the paper.  Raises :class:`MergeError` if the result
+    would not be canonical.
+    """
+    if not can_merge(t1, t2):
+        raise MergeError(
+            f"cannot merge: {to_bit_string(t2) or 'singleton'} is not <= the "
+            f"first child of {to_bit_string(t1) or 'singleton'}"
+        )
+    len1 = bit_count(t1)
+    len2 = bit_count(t2)
+    return (1 << (len2 + 1 + len1)) | (t2 << (1 + len1)) | t1
+
+
+@lru_cache(maxsize=1 << 18)
+def decomp(t: int) -> Tuple[int, int]:
+    """Unique decomposition of Equation (1): ``t -> (t', t'')``.
+
+    ``t''`` is the first (smallest) child subtree of the root and ``t'`` is
+    the rest of the tree, still rooted at the original root.  The singleton
+    cannot be decomposed.
+    """
+    if t == SINGLETON:
+        raise TreeletError("the singleton treelet has no decomposition")
+    first, rest = _split_first_block(t)
+    return rest, first
+
+
+def children(t: int) -> List[int]:
+    """Encodings of the root's child subtrees, first (smallest) first."""
+    out: List[int] = []
+    remaining = t
+    while remaining != SINGLETON:
+        first, remaining = _split_first_block(remaining)
+        out.append(first)
+    return out
+
+
+@lru_cache(maxsize=1 << 18)
+def beta(t: int) -> int:
+    """β_T of Equation (1): multiplicity of the split-off child subtree.
+
+    Equals the number of leading children of the root equal to the first
+    one; computed with shifts and masks over the encoding (the paper's
+    ``sub`` operation).
+    """
+    if t == SINGLETON:
+        raise TreeletError("beta is undefined for the singleton treelet")
+    first, remaining = _split_first_block(t)
+    count = 1
+    while remaining != SINGLETON:
+        nxt, remaining = _split_first_block(remaining)
+        if nxt != first:
+            break
+        count += 1
+    return count
+
+
+@lru_cache(maxsize=1 << 18)
+def _split_first_block(t: int) -> Tuple[int, int]:
+    """Split off the first top-level ``1 ... 0`` block of the traversal.
+
+    Returns ``(child_encoding, rest_encoding)`` where ``child_encoding`` is
+    the traversal strictly inside the block.  O(h) bit probes with h ≤ 16.
+    """
+    length = bit_count(t)
+    if length == 0:
+        raise TreeletError("cannot split the singleton treelet")
+    depth = 0
+    for position in range(length):
+        bit = (t >> (length - 1 - position)) & 1
+        depth += 1 if bit else -1
+        if depth == 0:
+            # Block spans positions [0, position]; inside is [1, position-1].
+            inner_length = position - 1
+            inner = (t >> (length - position)) & ((1 << inner_length) - 1)
+            rest_length = length - position - 1
+            rest = t & ((1 << rest_length) - 1)
+            return inner, rest
+    raise TreeletError(f"malformed treelet encoding: {to_bit_string(t)}")
+
+
+def encode_children(child_encodings: Sequence[int]) -> int:
+    """Build the canonical encoding of a root with the given child subtrees.
+
+    Children are sorted into canonical (ascending key) order automatically,
+    so the input order does not matter.
+    """
+    result = SINGLETON
+    for child in sorted(child_encodings, key=treelet_key, reverse=True):
+        # Insert from largest to smallest so each merge keeps the invariant
+        # "new child is <= current first child".
+        result = merge(result, child)
+    return result
+
+
+def encode_parent_vector(parents: Sequence[int]) -> int:
+    """Canonical encoding of the rooted tree given by a parent vector.
+
+    ``parents[0]`` must be ``-1`` (the root); ``parents[i]`` is the parent
+    index of node ``i`` and must be smaller than ``i`` (topological order).
+    """
+    n = len(parents)
+    if n == 0:
+        raise TreeletError("empty parent vector")
+    if parents[0] != -1:
+        raise TreeletError("parents[0] must be -1 (the root)")
+    kids: List[List[int]] = [[] for _ in range(n)]
+    for node in range(1, n):
+        parent = parents[node]
+        if not 0 <= parent < node:
+            raise TreeletError(
+                f"parent of node {node} must precede it, got {parent}"
+            )
+        kids[parent].append(node)
+
+    def encode_at(node: int) -> int:
+        return encode_children([encode_at(child) for child in kids[node]])
+
+    return encode_at(0)
+
+
+def tree_edges(t: int) -> List[Tuple[int, int]]:
+    """Decode the treelet into explicit edges over nodes ``0..h-1``.
+
+    Node 0 is the root; the remaining nodes are numbered in DFS (traversal)
+    order, matching the encoding.  The inverse of
+    :func:`encode_parent_vector` up to isomorphism.
+    """
+    return [(p, i) for i, p in enumerate(parent_vector(t)) if p >= 0]
+
+
+def parent_vector(t: int) -> List[int]:
+    """Decode the treelet into a parent vector (root first, DFS order)."""
+    length = bit_count(t)
+    parents = [-1]
+    stack = [0]
+    next_node = 1
+    for position in range(length):
+        bit = (t >> (length - 1 - position)) & 1
+        if bit:
+            parents.append(stack[-1])
+            stack.append(next_node)
+            next_node += 1
+        else:
+            if len(stack) <= 1:
+                raise TreeletError(f"malformed treelet encoding: {to_bit_string(t)}")
+            stack.pop()
+    if len(stack) != 1:
+        raise TreeletError(f"malformed treelet encoding: {to_bit_string(t)}")
+    return parents
+
+
+def degree_sequence(t: int) -> List[int]:
+    """Sorted degree sequence of the underlying (unrooted) tree."""
+    h = getsize(t)
+    degrees = [0] * h
+    for a, b in tree_edges(t):
+        degrees[a] += 1
+        degrees[b] += 1
+    return sorted(degrees)
+
+
+@lru_cache(maxsize=65536)
+def rootings(t: int) -> Tuple[int, ...]:
+    """Canonical encodings of ``t`` re-rooted at each of its nodes.
+
+    The result has one entry per node (so duplicates appear when distinct
+    nodes are equivalent under automorphism); use ``set(rootings(t))`` for
+    the distinct rooted variants of the free shape.
+    """
+    edges = tree_edges(t)
+    h = getsize(t)
+    adjacency: List[List[int]] = [[] for _ in range(h)]
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    return tuple(_encode_rooted_at(adjacency, node) for node in range(h))
+
+
+def _encode_rooted_at(adjacency: List[List[int]], root: int) -> int:
+    def encode_from(node: int, parent: int) -> int:
+        subtrees = [
+            encode_from(neighbor, node)
+            for neighbor in adjacency[node]
+            if neighbor != parent
+        ]
+        return encode_children(subtrees)
+
+    return encode_from(root, -1)
+
+
+def centroids(t: int) -> List[int]:
+    """Centroid node(s) of the underlying free tree (one or two of them)."""
+    h = getsize(t)
+    if h == 1:
+        return [0]
+    adjacency: List[List[int]] = [[] for _ in range(h)]
+    for a, b in tree_edges(t):
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    subtree_size = [0] * h
+
+    def compute_sizes(node: int, parent: int) -> int:
+        size = 1
+        for neighbor in adjacency[node]:
+            if neighbor != parent:
+                size += compute_sizes(neighbor, node)
+        subtree_size[node] = size
+        return size
+
+    compute_sizes(0, -1)
+
+    best: List[int] = []
+    best_weight = h + 1
+    for node in range(h):
+        weight = 0
+        for neighbor in adjacency[node]:
+            if subtree_size[neighbor] < subtree_size[node]:
+                weight = max(weight, subtree_size[neighbor])
+            else:
+                weight = max(weight, h - subtree_size[node])
+        if weight < best_weight:
+            best_weight = weight
+            best = [node]
+        elif weight == best_weight:
+            best.append(node)
+    return best
+
+
+@lru_cache(maxsize=65536)
+def canonical_free(t: int) -> int:
+    """Canonical rooted encoding of the *free* (unrooted) shape of ``t``.
+
+    Roots the tree at its centroid (taking the smaller encoding when there
+    are two centroids), which is the classic canonical form for free trees.
+    Two rooted treelets have equal ``canonical_free`` iff their underlying
+    unrooted trees are isomorphic.
+    """
+    h = getsize(t)
+    if h == 1:
+        return SINGLETON
+    adjacency: List[List[int]] = [[] for _ in range(h)]
+    for a, b in tree_edges(t):
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    candidates = [_encode_rooted_at(adjacency, c) for c in centroids(t)]
+    return min(candidates, key=treelet_key)
+
+
+def spanning_tree_shapes(adjacency_sets: Sequence[set], k: int) -> Dict[int, int]:
+    """Count spanning trees of a tiny graph by free-treelet shape.
+
+    Brute-force enumeration over edge subsets of size ``k - 1``; only meant
+    for graphs with at most ~16 nodes (graphlets), where it exactly matches
+    Kirchhoff totals.  Returns ``{canonical_free encoding: count}``.
+    """
+    from itertools import combinations
+
+    edges = sorted(
+        {(u, v) for u in range(k) for v in adjacency_sets[u] if u < v}
+    )
+    shapes: Dict[int, int] = {}
+    for subset in combinations(edges, k - 1):
+        parent = list(range(k))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        acyclic = True
+        for u, v in subset:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                acyclic = False
+                break
+            parent[ru] = rv
+        if not acyclic:
+            continue
+        adjacency: List[List[int]] = [[] for _ in range(k)]
+        for u, v in subset:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        encoding = _encode_rooted_at(adjacency, 0)
+        shape = canonical_free(encoding)
+        shapes[shape] = shapes.get(shape, 0) + 1
+    return shapes

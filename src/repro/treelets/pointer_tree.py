@@ -1,0 +1,185 @@
+"""CC-style pointer-based treelet representation (the Figure 2 baseline).
+
+The original CC implementation keeps one *representative instance* of every
+rooted colored treelet: a classic pointer-based tree object.  The pointer to
+the instance acts as the table key, so every check-and-merge operation must
+dereference pointers and walk the trees recursively.  Motivo replaces this
+with the succinct word encoding; the paper's Figure 2 measures exactly the
+gap between the two.
+
+This module reproduces the baseline honestly: interned tree nodes with child
+pointers, a recursive total-order comparison, and a recursive
+check-and-merge that visits the structures instead of comparing words.  The
+instrumentation counters it bumps (``check_and_merge``,
+``pointer_comparisons``) feed the Figure 2 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MergeError
+from repro.util.instrument import Instrumentation
+
+__all__ = ["PointerTree", "PointerTreeFactory"]
+
+
+class PointerTree:
+    """A rooted treelet as a pointer structure (CC's representation).
+
+    Instances are interned by :class:`PointerTreeFactory`; two structurally
+    equal trees are the *same object*, so object identity is the table key,
+    exactly as in CC.  Do not construct directly — use the factory.
+    """
+
+    __slots__ = ("children", "size", "_factory_token")
+
+    def __init__(self, children: Tuple["PointerTree", ...], token: object):
+        self.children = children
+        self.size = 1 + sum(child.size for child in children)
+        self._factory_token = token
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.children:
+            return "•"
+        return "(" + "".join(repr(c) for c in self.children) + ")"
+
+
+class PointerTreeFactory:
+    """Interning factory and operations for :class:`PointerTree` objects.
+
+    Parameters
+    ----------
+    instrumentation:
+        Optional shared counter bag; the factory bumps
+        ``check_and_merge`` on every merge attempt and
+        ``pointer_comparisons`` on every recursive node comparison,
+        mirroring what the paper measures for Figure 2.
+    """
+
+    def __init__(self, instrumentation: Optional[Instrumentation] = None):
+        self.instrumentation = instrumentation or Instrumentation()
+        self._interned: Dict[Tuple[int, ...], PointerTree] = {}
+        self._token = object()
+        self.singleton = self._intern(())
+
+    def _intern(self, children: Tuple[PointerTree, ...]) -> PointerTree:
+        key = tuple(id(child) for child in children)
+        tree = self._interned.get(key)
+        if tree is None:
+            tree = PointerTree(children, self._token)
+            self._interned[key] = tree
+        return tree
+
+    # ------------------------------------------------------------------
+    # Recursive structural order (deliberately pointer-chasing, as in CC)
+    # ------------------------------------------------------------------
+
+    def compare(self, a: PointerTree, b: PointerTree) -> int:
+        """Three-way comparison implementing the global treelet order.
+
+        The order is (size, DFS tour string) — identical to the succinct
+        ``treelet_key``, so CC-style check-and-merge and motivo's word
+        comparisons accept exactly the same pairs.  Comparing tour strings
+        walks the pointer structures recursively; interned equality
+        short-circuits, but distinct trees pay the full walk — this is the
+        cost motivo eliminates.
+        """
+        self.instrumentation.count("pointer_comparisons")
+        if a is b:
+            return 0
+        if a.size != b.size:
+            return -1 if a.size < b.size else 1
+        return self._compare_tour(a, b)
+
+    def _compare_tour(self, a: PointerTree, b: PointerTree) -> int:
+        """Lexicographic comparison of DFS tour strings (prefix = smaller).
+
+        The tour of a node is ``concat("1" + tour(child) + "0")`` over its
+        (canonically sorted) children; lexicographic comparison of the
+        concatenations reduces to element-wise *pure-lex* comparison of the
+        child tours, with a shorter child list being a strict prefix.
+        """
+        self.instrumentation.count("pointer_comparisons")
+        if a is b:
+            return 0
+        for child_a, child_b in zip(a.children, b.children):
+            result = self._compare_tour(child_a, child_b)
+            if result != 0:
+                return result
+        if len(a.children) != len(b.children):
+            return -1 if len(a.children) < len(b.children) else 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Construction and DP operations
+    # ------------------------------------------------------------------
+
+    def from_children(self, children: List[PointerTree]) -> PointerTree:
+        """Canonical (interned) tree with the given child subtrees."""
+        import functools
+
+        ordered = sorted(
+            children, key=functools.cmp_to_key(self.compare)
+        )
+        return self._intern(tuple(ordered))
+
+    def check_and_merge(
+        self, t1: PointerTree, t2: PointerTree
+    ) -> Optional[PointerTree]:
+        """CC's check-and-merge: try to attach ``t2`` as first child of ``t1``.
+
+        Returns the merged representative, or ``None`` when the pair fails
+        the canonical-order check (``t2`` must not exceed ``t1``'s first
+        child).  Every call is counted for the Figure 2 benchmark.
+        """
+        self.instrumentation.count("check_and_merge")
+        if t1.children and self.compare(t2, t1.children[0]) > 0:
+            return None
+        self.instrumentation.count("merge_success")
+        return self._intern((t2,) + t1.children)
+
+    def merge(self, t1: PointerTree, t2: PointerTree) -> PointerTree:
+        """Merge or raise :class:`MergeError` (strict variant)."""
+        merged = self.check_and_merge(t1, t2)
+        if merged is None:
+            raise MergeError("pointer trees fail the canonical-order check")
+        return merged
+
+    def decomp(self, t: PointerTree) -> Tuple[PointerTree, PointerTree]:
+        """Unique decomposition: split off the first (smallest) child."""
+        if not t.children:
+            raise MergeError("the singleton pointer tree has no decomposition")
+        rest = self._intern(t.children[1:])
+        return rest, t.children[0]
+
+    def beta(self, t: PointerTree) -> int:
+        """Multiplicity of the first child among the root's children."""
+        if not t.children:
+            raise MergeError("beta is undefined for the singleton tree")
+        first = t.children[0]
+        count = 0
+        for child in t.children:
+            if self.compare(child, first) == 0:
+                count += 1
+            else:
+                break
+        return count
+
+    def from_encoding(self, encoding: int) -> PointerTree:
+        """Convert a succinct encoding into the interned pointer form."""
+        from repro.treelets.encoding import children as encoded_children
+
+        kids = [self.from_encoding(child) for child in encoded_children(encoding)]
+        return self.from_children(kids)
+
+    def to_encoding(self, t: PointerTree) -> int:
+        """Convert a pointer tree back to the succinct canonical encoding."""
+        from repro.treelets.encoding import encode_children
+
+        return encode_children([self.to_encoding(child) for child in t.children])
+
+    @property
+    def interned_count(self) -> int:
+        """How many distinct representatives exist (memory proxy)."""
+        return len(self._interned)

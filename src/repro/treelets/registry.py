@@ -1,0 +1,166 @@
+"""Exhaustive enumeration of rooted treelets and their decompositions.
+
+The dynamic program of Equation (1) processes every rooted treelet on
+``2..k`` nodes, each through its *unique* decomposition ``T -> (T', T'')``.
+The registry enumerates all canonical rooted treelet encodings level by
+level (their number per level follows Otter's sequence A000081: 1, 1, 2, 4,
+9, 20, 48, 115, ...), precomputes each decomposition together with the β
+multiplicity, and groups the size-``k`` treelets by their free (unrooted)
+shape — the objects AGS samples from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import TreeletError
+from repro.treelets.encoding import (
+    SINGLETON,
+    beta,
+    canonical_free,
+    decomp,
+    merge,
+    rootings,
+    treelet_key,
+)
+
+__all__ = ["TreeletRegistry", "enumerate_rooted_treelets"]
+
+
+def enumerate_rooted_treelets(max_size: int) -> List[List[int]]:
+    """Enumerate canonical rooted treelet encodings for sizes ``1..max_size``.
+
+    Returns ``levels`` where ``levels[h - 1]`` is the sorted list of all
+    canonical encodings of rooted trees on ``h`` nodes.  Generation extends
+    smaller treelets through :func:`~repro.treelets.encoding.merge`: every
+    canonical tree on ``h`` nodes arises exactly once as ``merge(t', t'')``
+    over valid pairs with ``|t'| + |t''| = h`` (merge uniqueness is exactly
+    the uniqueness of the Equation (1) decomposition).
+    """
+    if max_size < 1:
+        raise TreeletError("max_size must be at least 1")
+    levels: List[List[int]] = [[SINGLETON]]
+    for h in range(2, max_size + 1):
+        seen = set()
+        for h2 in range(1, h):
+            h1 = h - h2
+            for t1 in levels[h1 - 1]:
+                for t2 in levels[h2 - 1]:
+                    try:
+                        seen.add(merge(t1, t2))
+                    except TreeletError:
+                        continue
+        levels.append(sorted(seen, key=treelet_key))
+    return levels
+
+
+class TreeletRegistry:
+    """All rooted treelets on up to ``k`` nodes, with DP scaffolding.
+
+    Parameters
+    ----------
+    k:
+        Motif size.  The registry covers every treelet size ``1..k``.
+
+    Attributes
+    ----------
+    k:
+        The motif size.
+    levels:
+        ``levels[h - 1]`` = sorted encodings of size-``h`` rooted treelets.
+    """
+
+    def __init__(self, k: int):
+        if not 2 <= k <= 16:
+            raise TreeletError(f"k must be in [2, 16], got {k}")
+        self.k = k
+        self.levels = enumerate_rooted_treelets(k)
+        self._decompositions: Dict[int, Tuple[int, int, int]] = {}
+        for h in range(2, k + 1):
+            for t in self.levels[h - 1]:
+                t_prime, t_second = decomp(t)
+                self._decompositions[t] = (t_prime, t_second, beta(t))
+        self._index: Dict[int, int] = {}
+        position = 0
+        for level in self.levels:
+            for t in level:
+                self._index[t] = position
+                position += 1
+
+        # Free (unrooted) shapes of the size-k treelets, the sampling units
+        # of AGS.  ``shape_of_rooted`` maps every size-k rooted encoding to
+        # its free canonical form; ``free_shapes`` lists those forms sorted;
+        # ``rooted_by_shape`` inverts the map.
+        self.shape_of_rooted: Dict[int, int] = {}
+        shape_to_rooted: Dict[int, List[int]] = {}
+        for t in self.levels[k - 1]:
+            shape = canonical_free(t)
+            self.shape_of_rooted[t] = shape
+            shape_to_rooted.setdefault(shape, []).append(t)
+        self.free_shapes: List[int] = sorted(shape_to_rooted, key=treelet_key)
+        self.rooted_by_shape: Dict[int, List[int]] = {
+            shape: sorted(variants, key=treelet_key)
+            for shape, variants in shape_to_rooted.items()
+        }
+        self.shape_index: Dict[int, int] = {
+            shape: i for i, shape in enumerate(self.free_shapes)
+        }
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+
+    def treelets_of_size(self, h: int) -> List[int]:
+        """Sorted canonical encodings of the size-``h`` rooted treelets."""
+        if not 1 <= h <= self.k:
+            raise TreeletError(f"size {h} outside registry range [1, {self.k}]")
+        return self.levels[h - 1]
+
+    def all_treelets(self) -> List[int]:
+        """Every registered treelet, smallest sizes first."""
+        return [t for level in self.levels for t in level]
+
+    def decomposition(self, t: int) -> Tuple[int, int, int]:
+        """Return ``(t', t'', beta)`` for a treelet of size >= 2."""
+        try:
+            return self._decompositions[t]
+        except KeyError:
+            raise TreeletError(
+                f"treelet {t} is not registered or has no decomposition"
+            ) from None
+
+    def index_of(self, t: int) -> int:
+        """Dense index of a treelet across all sizes (DP table offset)."""
+        try:
+            return self._index[t]
+        except KeyError:
+            raise TreeletError(f"treelet {t} is not registered") from None
+
+    def contains(self, t: int) -> bool:
+        """Whether the encoding belongs to the registry."""
+        return t in self._index
+
+    @property
+    def total_treelets(self) -> int:
+        """Number of rooted treelets across all sizes ``1..k``."""
+        return len(self._index)
+
+    @property
+    def num_shapes(self) -> int:
+        """Number of free k-treelet shapes (AGS sampling units)."""
+        return len(self.free_shapes)
+
+    def rooted_variants(self, shape: int) -> List[int]:
+        """Rooted size-k encodings whose free canonical form is ``shape``."""
+        try:
+            return self.rooted_by_shape[shape]
+        except KeyError:
+            raise TreeletError(f"unknown free shape {shape}") from None
+
+    def distinct_rootings(self, t: int) -> int:
+        """Number of distinct rooted forms of the free shape of ``t``.
+
+        Equivalently the number of orbits of nodes under the automorphism
+        group of the underlying free tree.
+        """
+        return len(set(rootings(t)))

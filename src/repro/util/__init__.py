@@ -1,0 +1,24 @@
+"""Low-level utilities shared by every subsystem.
+
+Submodules
+----------
+bitops
+    Branch-free bit manipulation helpers used by the succinct treelet and
+    graphlet encodings.
+alias
+    Vose's alias method for O(1) discrete sampling (paper §3.3).
+combinatorics
+    Tree-counting sequences (Otter), binomials, coloring probabilities and
+    the known census of connected graphs.
+rng
+    Seeded random-generator plumbing.
+instrument
+    Operation counters and wall-clock timers used to reproduce the paper's
+    instrumentation figures (e.g. Figure 2 counts check-and-merge calls).
+"""
+
+from repro.util.alias import AliasSampler
+from repro.util.instrument import Instrumentation
+from repro.util.rng import ensure_rng
+
+__all__ = ["AliasSampler", "Instrumentation", "ensure_rng"]

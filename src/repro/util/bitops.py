@@ -1,0 +1,179 @@
+"""Bit manipulation helpers for the succinct encodings.
+
+The paper packs rooted colored treelets into a single machine word and
+manipulates them with a handful of CPU instructions (``POPCNT``, shifts,
+masks).  Python integers are arbitrary precision, so the same encodings are
+implemented here exactly, with helpers that mirror the hardware primitives.
+
+All bit strings in this module follow the *MSB-first* convention used by the
+treelet encoding: the logical first bit of a string of length ``L`` is the
+bit at position ``L - 1`` of the integer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+__all__ = [
+    "popcount",
+    "lowest_set_bit",
+    "highest_set_bit",
+    "bit_length",
+    "extract_bits",
+    "concat_bits",
+    "iter_set_bits",
+    "iter_subsets",
+    "iter_subsets_of_size",
+    "bits_to_string",
+    "string_to_bits",
+    "reverse_bits",
+]
+
+
+def popcount(x: int) -> int:
+    """Return the Hamming weight of ``x`` (the paper's ``POPCNT``)."""
+    if x < 0:
+        raise ValueError("popcount is only defined for non-negative integers")
+    return bin(x).count("1")
+
+
+def lowest_set_bit(x: int) -> int:
+    """Return the index of the least significant set bit of ``x``.
+
+    Raises :class:`ValueError` on zero.
+    """
+    if x <= 0:
+        raise ValueError("lowest_set_bit requires a positive integer")
+    return (x & -x).bit_length() - 1
+
+
+def highest_set_bit(x: int) -> int:
+    """Return the index of the most significant set bit of ``x``."""
+    if x <= 0:
+        raise ValueError("highest_set_bit requires a positive integer")
+    return x.bit_length() - 1
+
+
+def bit_length(x: int) -> int:
+    """Alias for :meth:`int.bit_length`, kept for symmetry with C code."""
+    return x.bit_length()
+
+
+def extract_bits(x: int, start: int, count: int, total: int) -> int:
+    """Extract ``count`` bits from the MSB-first string ``x`` of length ``total``.
+
+    ``start`` is the 0-based position of the first extracted bit counted from
+    the logical beginning (most significant end) of the string.
+    """
+    if start < 0 or count < 0 or start + count > total:
+        raise ValueError(
+            f"cannot extract bits [{start}, {start + count}) from a "
+            f"{total}-bit string"
+        )
+    shift = total - start - count
+    mask = (1 << count) - 1
+    return (x >> shift) & mask
+
+
+def concat_bits(*parts: "tuple[int, int]") -> "tuple[int, int]":
+    """Concatenate MSB-first bit strings.
+
+    Each part is a ``(value, length)`` pair; the result is the pair for the
+    concatenation in argument order.  Mirrors the paper's word-level treelet
+    merge, which is a couple of shifts and an OR.
+    """
+    value = 0
+    length = 0
+    for part_value, part_length in parts:
+        if part_length < 0:
+            raise ValueError("bit string length cannot be negative")
+        if part_value < 0 or part_value.bit_length() > part_length:
+            raise ValueError(
+                f"value {part_value} does not fit in {part_length} bits"
+            )
+        value = (value << part_length) | part_value
+        length += part_length
+    return value, length
+
+
+def iter_set_bits(x: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``x``, lowest first."""
+    while x:
+        low = x & -x
+        yield low.bit_length() - 1
+        x ^= low
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of the bit mask ``mask``, including 0 and ``mask``.
+
+    Uses the classic ``sub = (sub - 1) & mask`` trick, so the iteration order
+    is decreasing in integer value starting from ``mask``.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def iter_subsets_of_size(mask: int, size: int) -> Iterator[int]:
+    """Yield the subsets of ``mask`` with exactly ``size`` set bits."""
+    if size < 0:
+        raise ValueError("subset size cannot be negative")
+    bits = list(iter_set_bits(mask))
+    n = len(bits)
+    if size > n:
+        return
+    if size == 0:
+        yield 0
+        return
+    # Gosper-style enumeration over the compressed index space.
+    indices = list(range(size))
+    while True:
+        subset = 0
+        for i in indices:
+            subset |= 1 << bits[i]
+        yield subset
+        # Advance the combination.
+        for pos in range(size - 1, -1, -1):
+            if indices[pos] != pos + n - size:
+                break
+        else:
+            return
+        indices[pos] += 1
+        for later in range(pos + 1, size):
+            indices[later] = indices[later - 1] + 1
+
+
+def bits_to_string(value: int, length: int) -> str:
+    """Render the MSB-first bit string ``(value, length)`` as '0'/'1' text."""
+    if length == 0:
+        return ""
+    if value.bit_length() > length:
+        raise ValueError(f"value {value} does not fit in {length} bits")
+    return format(value, f"0{length}b")
+
+
+def string_to_bits(text: str) -> "tuple[int, int]":
+    """Parse '0'/'1' text into an MSB-first ``(value, length)`` pair."""
+    if text == "":
+        return 0, 0
+    if set(text) - {"0", "1"}:
+        raise ValueError(f"not a bit string: {text!r}")
+    return int(text, 2), len(text)
+
+
+def reverse_bits(value: int, length: int) -> int:
+    """Reverse an MSB-first bit string of the given length."""
+    result = 0
+    for _ in range(length):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def masks_of_size(universe: int, size: int) -> List[int]:
+    """Return all ``size``-subsets of ``{0..universe-1}`` as bit masks."""
+    return list(iter_subsets_of_size((1 << universe) - 1, size))

@@ -1,0 +1,133 @@
+"""Combinatorial reference sequences and coloring probabilities.
+
+This module collects the closed-form quantities the paper relies on:
+
+* Otter's counts of rooted and free (unrooted) trees — used to sanity-check
+  the treelet enumeration (the paper cites O(3^k k^(-3/2)) rooted treelets,
+  footnote 5);
+* the census of connected graphs on k nodes (OEIS A001349) — the paper's
+  "over 10k distinct 8-node graphlets";
+* the colorful-hit probability ``p_k = k!/k^k`` of uniform coloring and its
+  biased-coloring generalization (§2.2 and §3.4);
+* small helpers (binomial, factorial wrappers) shared across modules.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb, factorial
+
+__all__ = [
+    "rooted_tree_count",
+    "free_tree_count",
+    "connected_graph_count",
+    "colorful_probability",
+    "biased_colorful_probability",
+    "binomial",
+]
+
+#: Connected graphs on n nodes up to isomorphism (OEIS A001349), n = 1..10.
+_CONNECTED_GRAPHS = (1, 1, 2, 6, 21, 112, 853, 11117, 261080, 11716571)
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient C(n, k), zero outside the triangle."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    return comb(n, k)
+
+
+@lru_cache(maxsize=None)
+def rooted_tree_count(n: int) -> int:
+    """Number of rooted trees on ``n`` unlabeled nodes (OEIS A000081).
+
+    Computed with the classic Euler-transform recurrence
+    ``a(n+1) = (1/n) * sum_{k=1..n} (sum_{d|k} d*a(d)) * a(n-k+1)``.
+    """
+    if n < 0:
+        raise ValueError("tree size cannot be negative")
+    if n == 0:
+        return 0
+    if n == 1:
+        return 1
+    total = 0
+    for k in range(1, n):
+        divisor_sum = sum(d * rooted_tree_count(d) for d in _divisors(k))
+        total += divisor_sum * rooted_tree_count(n - k)
+    return total // (n - 1)
+
+
+@lru_cache(maxsize=None)
+def free_tree_count(n: int) -> int:
+    """Number of free (unrooted) trees on ``n`` unlabeled nodes (A000055).
+
+    Otter's dissimilarity formula:
+    ``f(n) = r(n) - (1/2) * sum_{i=1..n-1} r(i) r(n-i) + [n even] r(n/2)/2``
+    where ``r`` counts rooted trees.  Evaluated in exact integer arithmetic
+    (both correction terms are provably even in combination).
+    """
+    if n < 0:
+        raise ValueError("tree size cannot be negative")
+    if n == 0:
+        return 0
+    if n <= 2:
+        return 1
+    r = rooted_tree_count
+    paired = sum(r(i) * r(n - i) for i in range(1, n))
+    doubled = 2 * r(n) - paired
+    if n % 2 == 0:
+        doubled += r(n // 2)
+    return doubled // 2
+
+
+def _divisors(n: int) -> "list[int]":
+    out = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            if d != n // d:
+                out.append(n // d)
+        d += 1
+    return out
+
+
+def connected_graph_count(n: int) -> int:
+    """Number of connected graphs on ``n`` nodes up to isomorphism (A001349).
+
+    Returns the tabulated value for ``n <= 10``; the paper quotes these
+    (21 for k=5, >10k for k=8, 11.7M for k=10).
+    """
+    if n < 1:
+        raise ValueError("graph size must be positive")
+    if n > len(_CONNECTED_GRAPHS):
+        raise ValueError(f"connected graph census tabulated only up to n={len(_CONNECTED_GRAPHS)}")
+    return _CONNECTED_GRAPHS[n - 1]
+
+
+def colorful_probability(k: int) -> float:
+    """Probability ``p_k = k!/k^k`` that a fixed k-set becomes colorful (§2.2)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    return factorial(k) / float(k**k)
+
+
+def biased_colorful_probability(k: int, lam: float) -> float:
+    """Colorful probability under biased coloring (§3.4).
+
+    Colors ``1..k-1`` each have probability ``lam``; color ``k`` (which we
+    index as color 0 in the implementation) has probability
+    ``1 - (k-1)*lam``.  A fixed k-set is colorful iff its nodes receive all
+    k colors bijectively, which happens with probability
+    ``k! * lam^(k-1) * (1 - (k-1)*lam)``.
+
+    With ``lam = 1/k`` this reduces to the uniform ``k!/k^k``.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if k == 1:
+        return 1.0
+    if not 0.0 < lam <= 1.0 / (k - 1):
+        raise ValueError(f"lambda must lie in (0, 1/(k-1)] for k={k}")
+    heavy = 1.0 - (k - 1) * lam
+    return factorial(k) * lam ** (k - 1) * heavy

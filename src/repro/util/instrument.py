@@ -1,0 +1,73 @@
+"""Operation counters and timers used by the reproduction benchmarks.
+
+Figure 2 of the paper reports the *time spent in check-and-merge operations*
+of the original (CC-style) versus succinct treelet implementation; Figure 3
+adds memory.  To regenerate those plots the library exposes a small
+instrumentation object that the build-up and sampling code increments on the
+relevant hot paths.  Instrumentation is always on — the counters are plain
+integer adds and do not change algorithmic behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+__all__ = ["Instrumentation"]
+
+
+@dataclass
+class Instrumentation:
+    """Mutable bag of named counters and accumulated timings.
+
+    Attributes
+    ----------
+    counters:
+        Name → number of times the event happened (e.g.
+        ``"check_and_merge"``, ``"merge_success"``, ``"neighbor_sweeps"``).
+    timings:
+        Name → total seconds spent inside :meth:`timer` blocks of that name.
+    """
+
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    timings: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] += amount
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock time of the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[name] += time.perf_counter() - start
+
+    def merge(self, other: "Instrumentation") -> None:
+        """Fold another instrumentation object into this one."""
+        for name, value in other.counters.items():
+            self.counters[name] += value
+        for name, value in other.timings.items():
+            self.timings[name] += value
+
+    def reset(self) -> None:
+        """Zero every counter and timing."""
+        self.counters.clear()
+        self.timings.clear()
+
+    def snapshot(self) -> "dict[str, float]":
+        """Return a flat dict view (counters and timings) for reporting."""
+        out: "dict[str, float]" = {}
+        for name, value in self.counters.items():
+            out[f"count.{name}"] = float(value)
+        for name, value in self.timings.items():
+            out[f"time.{name}"] = value
+        return out
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_er():
+    """A small connected-ish random graph used across modules."""
+    return erdos_renyi(24, 60, rng=7)
+
+
+@pytest.fixture
+def tiny_er():
+    """A tiny random graph for brute-force cross-checks."""
+    return erdos_renyi(14, 30, rng=11)
+
+
+@pytest.fixture
+def k4_path():
+    return path_graph(4)
+
+
+@pytest.fixture
+def k5_clique():
+    return complete_graph(5)
+
+
+@pytest.fixture
+def c6():
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def star5():
+    return star_graph(5)

@@ -1,0 +1,88 @@
+"""Tests for the Vose alias sampler (§3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.util.alias import AliasSampler
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(SamplingError):
+            AliasSampler([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(SamplingError):
+            AliasSampler([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(SamplingError):
+            AliasSampler([0.0, 0.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(SamplingError):
+            AliasSampler([1.0, float("nan")])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(SamplingError):
+            AliasSampler(np.ones((2, 2)))
+
+    def test_size_and_total(self):
+        sampler = AliasSampler([2.0, 3.0, 5.0])
+        assert sampler.size == 3
+        assert sampler.total_weight == pytest.approx(10.0)
+
+
+class TestExactDistribution:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=40,
+        ).filter(lambda ws: sum(ws) > 1e-9)
+    )
+    @settings(max_examples=200)
+    def test_table_encodes_normalized_weights(self, weights):
+        sampler = AliasSampler(weights)
+        implied = sampler.probabilities()
+        expected = np.asarray(weights) / sum(weights)
+        assert np.allclose(implied, expected, atol=1e-9)
+
+    def test_zero_weight_never_sampled(self, rng):
+        sampler = AliasSampler([0.0, 1.0, 0.0, 1.0])
+        draws = sampler.sample_many(2000, rng)
+        assert set(np.unique(draws)) <= {1, 3}
+
+
+class TestSampling:
+    def test_single_outcome(self, rng):
+        sampler = AliasSampler([7.0])
+        assert sampler.sample(rng) == 0
+
+    def test_empirical_frequencies(self, rng):
+        weights = [1.0, 2.0, 3.0, 4.0]
+        sampler = AliasSampler(weights)
+        draws = sampler.sample_many(40_000, rng)
+        counts = np.bincount(draws, minlength=4) / draws.size
+        expected = np.asarray(weights) / 10.0
+        assert np.allclose(counts, expected, atol=0.02)
+
+    def test_sample_many_negative(self, rng):
+        sampler = AliasSampler([1.0])
+        with pytest.raises(SamplingError):
+            sampler.sample_many(-1, rng)
+
+    def test_sample_many_zero(self, rng):
+        sampler = AliasSampler([1.0, 1.0])
+        assert AliasSampler([1.0, 1.0]).sample_many(0, rng).size == 0
+
+    def test_deterministic_given_seed(self):
+        sampler = AliasSampler([1.0, 2.0, 3.0])
+        a = sampler.sample_many(50, np.random.default_rng(5))
+        b = sampler.sample_many(50, np.random.default_rng(5))
+        assert np.array_equal(a, b)

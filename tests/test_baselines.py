@@ -1,0 +1,128 @@
+"""Tests for the random-walk and path-sampling baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.path_sampling import (
+    estimate_triangle_count,
+    exact_triangle_count,
+    wedge_count,
+    wedge_sample_triangle_fraction,
+)
+from repro.baselines.random_walk import random_walk_frequencies
+from repro.errors import SamplingError
+from repro.exact.esu import exact_counts
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+class TestWedgeAndTriangleCounts:
+    def test_wedges_on_star(self):
+        from math import comb
+
+        assert wedge_count(star_graph(7)) == comb(7, 2)
+
+    def test_wedges_on_cycle(self):
+        assert wedge_count(cycle_graph(8)) == 8
+
+    def test_triangles_complete(self):
+        from math import comb
+
+        assert exact_triangle_count(complete_graph(7)) == comb(7, 3)
+
+    def test_triangles_bipartite_free(self):
+        assert exact_triangle_count(star_graph(6)) == 0
+        assert exact_triangle_count(cycle_graph(6)) == 0
+
+    def test_triangles_match_esu(self):
+        from repro.graphlets.enumerate import clique_graphlet
+
+        g = erdos_renyi(30, 120, rng=3)
+        counts = exact_counts(g, 3)
+        assert exact_triangle_count(g) == counts.get(clique_graphlet(3), 0)
+
+
+class TestWedgeSampling:
+    def test_clustering_of_complete_graph(self, rng):
+        fraction = wedge_sample_triangle_fraction(complete_graph(8), 2000, rng)
+        assert fraction == 1.0
+
+    def test_clustering_of_star(self, rng):
+        fraction = wedge_sample_triangle_fraction(star_graph(8), 2000, rng)
+        assert fraction == 0.0
+
+    def test_triangle_estimate_converges(self, rng):
+        g = erdos_renyi(40, 250, rng=4)
+        exact = exact_triangle_count(g)
+        estimated, wedges = estimate_triangle_count(g, 50_000, rng)
+        assert wedges == wedge_count(g)
+        assert estimated == pytest.approx(exact, rel=0.15)
+
+    def test_needs_wedges(self, rng):
+        with pytest.raises(SamplingError):
+            wedge_sample_triangle_fraction(path_graph(2), 10, rng)
+
+    def test_needs_samples(self, rng):
+        with pytest.raises(SamplingError):
+            wedge_sample_triangle_fraction(complete_graph(4), 0, rng)
+
+
+class TestRandomWalk:
+    def test_frequencies_on_small_graph(self):
+        """With many steps, visit frequencies approach the exact ones."""
+        g = erdos_renyi(18, 45, rng=5)
+        k = 3
+        truth = exact_counts(g, k)
+        total = sum(truth.values())
+        frequencies = random_walk_frequencies(
+            g, k, steps=40_000, burn_in=2000, rng=6
+        )
+        for bits, count in truth.items():
+            assert frequencies.get(bits, 0.0) == pytest.approx(
+                count / total, abs=0.08
+            )
+
+    def test_frequencies_sum_to_one(self):
+        g = erdos_renyi(15, 40, rng=7)
+        frequencies = random_walk_frequencies(g, 3, steps=500, rng=8)
+        assert sum(frequencies.values()) == pytest.approx(1.0)
+
+    def test_explicit_start(self):
+        g = cycle_graph(8)
+        frequencies = random_walk_frequencies(
+            g, 3, steps=200, rng=9, start=(0, 1, 2)
+        )
+        assert frequencies  # the walk ran
+
+    def test_bad_start_rejected(self):
+        g = cycle_graph(8)
+        with pytest.raises(SamplingError):
+            random_walk_frequencies(g, 3, steps=10, rng=10, start=(0, 2, 4))
+
+    def test_needs_steps(self):
+        with pytest.raises(SamplingError):
+            random_walk_frequencies(cycle_graph(5), 3, steps=0)
+
+    def test_mixing_failure_regime(self):
+        """On the lollipop graph a short walk stays inside the clique —
+        exactly the pathology the paper cites for walk-based methods."""
+        from repro.graph.generators import lollipop
+        from repro.graphlets.enumerate import path_graphlet
+
+        g = lollipop(20, 6)
+        k = 4
+        truth = exact_counts(g, k)
+        total = sum(truth.values())
+        true_path_fraction = truth[path_graphlet(4)] / total
+        assert true_path_fraction > 0.0
+        frequencies = random_walk_frequencies(g, k, steps=300, rng=11)
+        # The walk has not discovered the tail's paths at their true rate:
+        # it underestimates (usually reporting 0).
+        assert frequencies.get(path_graphlet(4), 0.0) < true_path_fraction

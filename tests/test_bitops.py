@@ -1,0 +1,149 @@
+"""Unit and property tests for repro.util.bitops."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bits_to_string,
+    concat_bits,
+    extract_bits,
+    highest_set_bit,
+    iter_set_bits,
+    iter_subsets,
+    iter_subsets_of_size,
+    lowest_set_bit,
+    masks_of_size,
+    popcount,
+    reverse_bits,
+    string_to_bits,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_powers_of_two(self):
+        for shift in range(70):
+            assert popcount(1 << shift) == 1
+
+    def test_all_ones(self):
+        assert popcount((1 << 13) - 1) == 13
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**80))
+    def test_matches_bin(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+
+class TestSetBitHelpers:
+    def test_lowest(self):
+        assert lowest_set_bit(0b1011000) == 3
+
+    def test_highest(self):
+        assert highest_set_bit(0b1011000) == 6
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lowest_set_bit(0)
+        with pytest.raises(ValueError):
+            highest_set_bit(0)
+
+    @given(st.integers(min_value=1, max_value=2**60))
+    def test_iter_set_bits_reconstructs(self, x):
+        assert sum(1 << b for b in iter_set_bits(x)) == x
+
+    @given(st.integers(min_value=1, max_value=2**60))
+    def test_iter_set_bits_ascending(self, x):
+        bits = list(iter_set_bits(x))
+        assert bits == sorted(bits)
+
+
+class TestExtractConcat:
+    def test_extract_middle(self):
+        # String 10110 (len 5): positions 1..3 are '011'.
+        value, length = string_to_bits("10110")
+        assert extract_bits(value, 1, 3, length) == 0b011
+
+    def test_extract_bounds(self):
+        with pytest.raises(ValueError):
+            extract_bits(0b101, 1, 3, 3)
+
+    def test_concat_round_trip(self):
+        value, length = concat_bits((0b1, 1), (0b01, 2), (0b110, 3))
+        assert bits_to_string(value, length) == "101110"
+
+    def test_concat_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            concat_bits((0b111, 2))
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=127).map(lambda v: (v, 7)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_concat_then_extract(self, parts):
+        value, length = concat_bits(*parts)
+        for index, (part, part_length) in enumerate(parts):
+            start = index * 7
+            assert extract_bits(value, start, part_length, length) == part
+
+
+class TestSubsetIteration:
+    def test_subsets_count(self):
+        mask = 0b10110
+        assert len(list(iter_subsets(mask))) == 2 ** popcount(mask)
+
+    def test_subsets_are_subsets(self):
+        mask = 0b110101
+        for sub in iter_subsets(mask):
+            assert sub & ~mask == 0
+
+    def test_subsets_of_size_counts(self):
+        from math import comb
+
+        mask = 0b1111101
+        for size in range(0, 8):
+            got = list(iter_subsets_of_size(mask, size))
+            assert len(got) == comb(popcount(mask), size)
+            assert all(popcount(s) == size for s in got)
+            assert all(s & ~mask == 0 for s in got)
+            assert len(set(got)) == len(got)
+
+    def test_size_zero(self):
+        assert list(iter_subsets_of_size(0b101, 0)) == [0]
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            list(iter_subsets_of_size(0b1, -1))
+
+    def test_masks_of_size(self):
+        masks = masks_of_size(5, 2)
+        assert len(masks) == 10
+        assert all(popcount(m) == 2 for m in masks)
+
+
+class TestStrings:
+    def test_round_trip(self):
+        for text in ("", "1", "0", "101100", "11110000"):
+            assert bits_to_string(*string_to_bits(text)) == text
+
+    def test_bad_text(self):
+        with pytest.raises(ValueError):
+            string_to_bits("10a1")
+
+    def test_reverse(self):
+        value, length = string_to_bits("1101000")
+        assert bits_to_string(reverse_bits(value, length), length) == "0001011"
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_reverse_involution(self, x):
+        assert reverse_bits(reverse_bits(x, 20), 20) == x

@@ -1,0 +1,204 @@
+"""Tests for the Theorem 3 bounds helpers and non-induced conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.sampling.bounds import (
+    colorings_for_guarantee,
+    minimum_count_for_guarantee,
+    suggest_lambda,
+    theorem3_failure_probability,
+)
+from repro.util.combinatorics import biased_colorful_probability
+
+
+class TestTheorem3:
+    def test_monotone_in_count(self):
+        a = theorem3_failure_probability(0.2, 4, 1e6, 10)
+        b = theorem3_failure_probability(0.2, 4, 1e8, 10)
+        assert b < a
+
+    def test_monotone_in_degree(self):
+        a = theorem3_failure_probability(0.2, 4, 1e7, 10)
+        b = theorem3_failure_probability(0.2, 4, 1e7, 40)
+        assert a < b
+
+    def test_biased_coloring_weakens_bound(self):
+        uniform = theorem3_failure_probability(0.2, 4, 1e7, 10)
+        biased = theorem3_failure_probability(
+            0.2, 4, 1e7, 10,
+            colorful_p=biased_colorful_probability(4, 0.05),
+        )
+        assert uniform < biased
+
+    def test_capped_at_one(self):
+        assert theorem3_failure_probability(0.01, 5, 10, 1000) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            theorem3_failure_probability(0.0, 5, 1e6, 50)
+        with pytest.raises(SamplingError):
+            theorem3_failure_probability(0.1, 1, 1e6, 50)
+        with pytest.raises(SamplingError):
+            theorem3_failure_probability(0.1, 5, -1, 50)
+
+
+class TestGuaranteeHelpers:
+    def test_single_coloring_when_bound_strong(self):
+        assert colorings_for_guarantee(0.2, 0.1, 4, 1e9, 20) == 1
+
+    def test_more_colorings_for_tighter_delta(self):
+        few = colorings_for_guarantee(0.15, 0.2, 4, 2e5, 10)
+        many = colorings_for_guarantee(0.15, 1e-9, 4, 2e5, 10)
+        assert many > few >= 1
+
+    def test_vacuous_bound_rejected(self):
+        with pytest.raises(SamplingError, match="vacuous"):
+            colorings_for_guarantee(0.01, 0.1, 5, 10, 1000)
+
+    def test_minimum_count_inverts_bound(self):
+        epsilon, delta, k, degree = 0.1, 0.05, 5, 50
+        threshold = minimum_count_for_guarantee(epsilon, delta, k, degree)
+        at_threshold = theorem3_failure_probability(
+            epsilon, k, threshold, degree
+        )
+        assert at_threshold == pytest.approx(delta, rel=1e-6)
+
+    def test_minimum_count_validation(self):
+        with pytest.raises(SamplingError):
+            minimum_count_for_guarantee(0.1, 1.5, 5, 50)
+
+
+class TestSuggestLambda:
+    def test_returns_valid_lambda(self):
+        graph = erdos_renyi(300, 900, rng=1)
+        lam = suggest_lambda(graph, 5, rng=2)
+        assert 0 < lam <= 1.0 / 4
+
+    def test_sparser_probe_gives_smaller_lambda(self):
+        """A denser graph reaches the positive-count threshold earlier."""
+        sparse = star_graph(200)  # treelet-poor
+        dense = erdos_renyi(201, 3000, rng=3)
+        lam_sparse = suggest_lambda(sparse, 4, rng=4)
+        lam_dense = suggest_lambda(dense, 4, rng=5)
+        assert lam_dense <= lam_sparse
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(SamplingError):
+            suggest_lambda(Graph.empty(0), 4)
+
+    def test_suggested_lambda_builds_nonempty_urn(self):
+        from repro.colorcoding.buildup import build_table
+        from repro.colorcoding.coloring import ColoringScheme
+
+        graph = erdos_renyi(400, 1600, rng=6)
+        k = 4
+        lam = suggest_lambda(graph, k, rng=7)
+        coloring = ColoringScheme.biased(graph.num_vertices, k, lam, rng=8)
+        table = build_table(graph, coloring)
+        assert table.root_weights().sum() > 0
+
+
+class TestNonInducedConversion:
+    def test_overlap_matrix_diagonal(self):
+        from repro.graphlets.enumerate import enumerate_graphlets
+        from repro.graphlets.noninduced import overlap_matrix
+
+        for k in (3, 4, 5):
+            matrix = overlap_matrix(k)
+            graphlets = enumerate_graphlets(k)
+            for i in range(len(graphlets)):
+                assert matrix[i][i] == 1
+
+    def test_automorphisms_known(self):
+        from repro.graphlets.enumerate import (
+            clique_graphlet,
+            cycle_graphlet,
+            path_graphlet,
+            star_graphlet,
+        )
+        from repro.graphlets.noninduced import automorphism_count
+        from math import factorial
+
+        k = 5
+        assert automorphism_count(clique_graphlet(k), k) == factorial(k)
+        assert automorphism_count(cycle_graphlet(k), k) == 2 * k
+        assert automorphism_count(path_graphlet(k), k) == 2
+        assert automorphism_count(star_graphlet(k), k) == factorial(k - 1)
+
+    def test_path_inside_clique(self):
+        """K_k contains k!/2 spanning paths."""
+        from math import factorial
+
+        from repro.graphlets.enumerate import clique_graphlet, path_graphlet
+        from repro.graphlets.noninduced import occurrence_count
+
+        for k in (4, 5):
+            assert occurrence_count(
+                path_graphlet(k), clique_graphlet(k), k
+            ) == factorial(k) // 2
+
+    def test_round_trip(self):
+        """induced -> noninduced -> induced is the identity."""
+        from repro.graphlets.enumerate import enumerate_graphlets
+        from repro.graphlets.noninduced import induced_counts, noninduced_counts
+
+        k = 4
+        graphlets = enumerate_graphlets(k)
+        induced = {bits: float(i + 1) for i, bits in enumerate(graphlets)}
+        back = induced_counts(noninduced_counts(induced, k), k)
+        for bits, value in induced.items():
+            assert back.get(bits, 0.0) == pytest.approx(value)
+
+    def test_against_exact_counts(self):
+        """Non-induced counts derived from induced ESU counts must match
+        direct non-induced counting (via networkx as an oracle)."""
+        import networkx as nx
+        from itertools import combinations
+
+        from repro.exact.esu import exact_counts
+        from repro.graphlets.enumerate import path_graphlet
+        from repro.graphlets.noninduced import noninduced_counts
+
+        graph = erdos_renyi(12, 26, rng=9)
+        k = 4
+        induced = exact_counts(graph, k)
+        derived = noninduced_counts(induced, k)
+
+        # Oracle: enumerate all 4-vertex subsets and count their spanning
+        # P4 subgraphs via networkx monomorphisms.
+        g = nx.Graph(list(graph.edges()))
+        p4 = nx.path_graph(k)
+        expected_p4 = 0
+        for nodes in combinations(range(graph.num_vertices), k):
+            sub = g.subgraph(nodes)
+            gm = nx.algorithms.isomorphism.GraphMatcher(sub, p4)
+            copies = sum(1 for _ in gm.subgraph_monomorphisms_iter())
+            expected_p4 += copies // 2  # |Aut(P4)| = 2
+
+        assert derived.get(path_graphlet(k), 0) == pytest.approx(expected_p4)
+
+
+class TestTheorem2:
+    def test_additive_bound_shape(self):
+        from repro.sampling.bounds import theorem2_failure_probability
+
+        # Decreasing in total count, increasing in k (g^{1/k} shrinks).
+        a = theorem2_failure_probability(0.1, 4, 1e8)
+        b = theorem2_failure_probability(0.1, 4, 1e12)
+        assert b < a
+        c = theorem2_failure_probability(0.1, 8, 1e12)
+        assert c > b
+
+    def test_validation(self):
+        from repro.sampling.bounds import theorem2_failure_probability
+
+        with pytest.raises(SamplingError):
+            theorem2_failure_probability(0.0, 4, 1e6)
+        with pytest.raises(SamplingError):
+            theorem2_failure_probability(0.1, 1, 1e6)

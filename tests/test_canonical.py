@@ -1,0 +1,105 @@
+"""Tests for canonical graphlet forms (the Nauty replacement)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphletError
+from repro.graphlets.canonical import are_isomorphic, canonical_form
+from repro.graphlets.encoding import (
+    encode_edges,
+    graphlet_edge_count,
+    relabel,
+)
+
+
+@st.composite
+def bits_and_permutation(draw, k=6):
+    bits = draw(
+        st.integers(min_value=0, max_value=(1 << (k * (k - 1) // 2)) - 1)
+    )
+    permutation = draw(st.permutations(list(range(k))))
+    return bits, permutation
+
+
+class TestInvariance:
+    @given(bits_and_permutation())
+    @settings(max_examples=150, deadline=None)
+    def test_permutation_invariant(self, data):
+        """The defining property: canon(g) == canon(π(g)) for any π."""
+        bits, permutation = data
+        k = 6
+        assert canonical_form(bits, k) == canonical_form(
+            relabel(bits, k, permutation), k
+        )
+
+    @given(bits_and_permutation())
+    @settings(max_examples=100, deadline=None)
+    def test_canonical_is_in_orbit(self, data):
+        bits, _ = data
+        k = 6
+        canon = canonical_form(bits, k)
+        assert graphlet_edge_count(canon) == graphlet_edge_count(bits)
+        assert are_isomorphic(canon, bits, k)
+
+    @given(bits_and_permutation())
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, data):
+        bits, _ = data
+        assert canonical_form(canonical_form(bits, 6), 6) == canonical_form(
+            bits, 6
+        )
+
+
+class TestDistinguishes:
+    def test_path_vs_star(self):
+        path = encode_edges([(0, 1), (1, 2), (2, 3)], 4)
+        star = encode_edges([(0, 1), (0, 2), (0, 3)], 4)
+        assert not are_isomorphic(path, star, 4)
+
+    def test_triangle_plus_edge_vs_path(self):
+        paw = encode_edges([(0, 1), (1, 2), (2, 0), (2, 3)], 4)
+        path = encode_edges([(0, 1), (1, 2), (2, 3)], 4)
+        assert not are_isomorphic(paw, path, 4)
+
+    def test_cospectral_like_regular_graphs(self):
+        """C6 vs two triangles: both 2-regular, not isomorphic."""
+        c6 = encode_edges(
+            [(i, (i + 1) % 6) for i in range(6)], 6
+        )
+        two_triangles = encode_edges(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], 6
+        )
+        assert not are_isomorphic(c6, two_triangles, 6)
+
+    def test_isomorphic_cycles(self):
+        c5a = encode_edges([(i, (i + 1) % 5) for i in range(5)], 5)
+        c5b = relabel(c5a, 5, [3, 0, 4, 1, 2])
+        assert are_isomorphic(c5a, c5b, 5)
+
+
+class TestEdgeCases:
+    def test_tiny_sizes(self):
+        assert canonical_form(0, 1) == 0
+        assert canonical_form(0, 2) == 0
+        assert canonical_form(1, 2) == 1
+
+    def test_complete_and_empty_shortcut(self):
+        k = 7
+        full = (1 << (k * (k - 1) // 2)) - 1
+        assert canonical_form(full, k) == full
+        assert canonical_form(0, k) == 0
+
+    def test_bad_size(self):
+        with pytest.raises(GraphletError):
+            canonical_form(0, 0)
+
+    def test_highly_symmetric_k44(self):
+        """Complete bipartite K4,4 — WL cannot split it; search must."""
+        k44 = encode_edges(
+            [(i, j) for i in range(4) for j in range(4, 8)], 8
+        )
+        shuffled = relabel(k44, 8, [7, 2, 5, 0, 3, 6, 1, 4])
+        assert canonical_form(k44, 8) == canonical_form(shuffled, 8)

@@ -1,0 +1,163 @@
+"""Tests for the motivo-py command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import load_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self):
+        args = build_parser().parse_args(["count", "facebook"])
+        assert args.k == 5
+        assert args.samples == 20000
+        assert not args.ags
+
+    def test_generate_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "nope", "out.txt"])
+
+
+class TestGenerate:
+    def test_writes_edge_list(self, tmp_path, capsys):
+        out = tmp_path / "lollipop.txt"
+        assert main(["generate", "lollipop", str(out)]) == 0
+        graph = load_edge_list(out)
+        assert graph.num_edges > 0
+        assert "wrote lollipop" in capsys.readouterr().out
+
+    def test_writes_binary(self, tmp_path):
+        out = tmp_path / "lollipop.npz"
+        assert main(["generate", "lollipop", str(out)]) == 0
+        from repro.graph.io import load_binary
+
+        assert load_binary(out).num_edges > 0
+
+
+class TestInfo:
+    def test_dataset_by_name(self, capsys):
+        assert main(["info", "lollipop"]) == 0
+        out = capsys.readouterr().out
+        assert "n = " in out
+        assert "max degree" in out
+
+    def test_file_path(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        assert main(["info", str(path)]) == 0
+        assert "m = 2" in capsys.readouterr().out
+
+
+class TestExact:
+    def test_exact_counts_printed(self, tmp_path, capsys):
+        path = tmp_path / "c6.txt"
+        path.write_text("\n".join(f"{i} {(i + 1) % 6}" for i in range(6)))
+        assert main(["exact", str(path), "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct 3-graphlets" in out
+
+
+class TestCount:
+    def test_end_to_end_naive(self, capsys):
+        assert main([
+            "count", "lollipop", "--k", "4",
+            "--samples", "400", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "build-up" in out
+        assert "naive sampling" in out
+        assert "graphlet" in out
+
+    def test_end_to_end_ags(self, capsys):
+        assert main([
+            "count", "lollipop", "--k", "4", "--ags",
+            "--samples", "400", "--cover-threshold", "50", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "AGS" in out
+
+    def test_biased_and_no_zero_rooting(self, capsys):
+        assert main([
+            "count", "friendster", "--k", "4",
+            "--samples", "200", "--seed", "3",
+            "--biased-lambda", "0.1", "--no-zero-rooting",
+        ]) == 0
+
+    def test_spill_dir(self, tmp_path, capsys):
+        spill = tmp_path / "spill"
+        assert main([
+            "count", "lollipop", "--k", "4",
+            "--samples", "100", "--seed", "4",
+            "--spill-dir", str(spill),
+        ]) == 0
+        assert (spill / "layer_4.counts.npy").exists()
+
+
+class TestSuggestLambda:
+    def test_prints_lambda(self, capsys):
+        assert main(["suggest-lambda", "friendster", "--k", "4",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "suggested lambda:" in out
+
+    def test_sparse_graph_falls_back_to_uniform(self, tmp_path, capsys):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n1 2\n")
+        assert main(["suggest-lambda", str(path), "--k", "3",
+                     "--seed", "6"]) == 0
+        assert "uniform" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_prints_frequencies(self, capsys):
+        assert main(["profile", "lollipop", "--k", "4",
+                     "--samples", "300", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "motif profile" in out
+        assert "e-" in out or "e+" in out  # scientific notation rows
+
+
+class TestNonInducedFlag:
+    def test_count_with_noninduced(self, capsys):
+        assert main([
+            "count", "lollipop", "--k", "4",
+            "--samples", "300", "--seed", "8", "--noninduced",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "non-induced" in out
+
+
+class TestErrors:
+    def test_missing_file_reported(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["info", "/nonexistent/graph.txt"])
+
+    def test_library_errors_become_exit_one(self, tmp_path, capsys):
+        # A 2-vertex graph cannot host 4-graphlets: the urn is empty.
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n")
+        status = main(["count", str(path), "--k", "4", "--samples", "10"])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_count_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "estimates.json"
+        assert main([
+            "count", "lollipop", "--k", "4",
+            "--samples", "200", "--seed", "9",
+            "--output", str(out),
+        ]) == 0
+        from repro.sampling.estimates import GraphletEstimates
+
+        restored = GraphletEstimates.from_json(out.read_text())
+        assert restored.k == 4
+        assert restored.samples == 200
+        assert restored.total > 0

@@ -1,0 +1,89 @@
+"""Tests for uniform and biased colorings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ColorError
+from repro.colorcoding.coloring import ColoringScheme
+from repro.util.combinatorics import colorful_probability
+
+
+class TestUniform:
+    def test_color_range(self):
+        scheme = ColoringScheme.uniform(500, 5, rng=1)
+        assert scheme.colors.min() >= 0
+        assert scheme.colors.max() < 5
+        assert scheme.num_vertices == 500
+
+    def test_roughly_balanced(self):
+        scheme = ColoringScheme.uniform(10_000, 4, rng=2)
+        histogram = scheme.color_histogram()
+        assert histogram.sum() == 10_000
+        assert np.all(histogram > 2200)
+
+    def test_colorful_probability(self):
+        scheme = ColoringScheme.uniform(10, 5, rng=3)
+        assert scheme.colorful_probability() == pytest.approx(
+            colorful_probability(5)
+        )
+
+    def test_deterministic(self):
+        a = ColoringScheme.uniform(100, 4, rng=9)
+        b = ColoringScheme.uniform(100, 4, rng=9)
+        assert np.array_equal(a.colors, b.colors)
+
+    def test_k_validation(self):
+        with pytest.raises(ColorError):
+            ColoringScheme.uniform(10, 0)
+
+
+class TestBiased:
+    def test_color_zero_is_heavy(self):
+        scheme = ColoringScheme.biased(20_000, 5, lam=0.02, rng=4)
+        histogram = scheme.color_histogram()
+        # Expected: color 0 at 92%, others at 2% each.
+        assert histogram[0] > 17_000
+        assert np.all(histogram[1:] < 1000)
+
+    def test_lambda_bounds(self):
+        with pytest.raises(ColorError):
+            ColoringScheme.biased(10, 5, lam=0.0)
+        with pytest.raises(ColorError):
+            ColoringScheme.biased(10, 5, lam=0.3)
+        with pytest.raises(ColorError):
+            ColoringScheme.biased(10, 1, lam=0.1)
+
+    def test_colorful_probability_below_uniform(self):
+        biased = ColoringScheme.biased(10, 5, lam=0.05, rng=5)
+        assert biased.colorful_probability() < colorful_probability(5)
+
+    def test_lambda_at_uniform_matches(self):
+        scheme = ColoringScheme.biased(10, 4, lam=0.25, rng=6)
+        assert scheme.colorful_probability() == pytest.approx(
+            colorful_probability(4)
+        )
+
+
+class TestFixed:
+    def test_wraps_explicit_colors(self):
+        scheme = ColoringScheme.fixed([0, 1, 2, 0], k=3)
+        assert scheme.colors.tolist() == [0, 1, 2, 0]
+
+    def test_bounds_checked(self):
+        with pytest.raises(ColorError):
+            ColoringScheme.fixed([0, 3], k=3)
+        with pytest.raises(ColorError):
+            ColoringScheme.fixed([-1], k=3)
+
+
+class TestIndicator:
+    def test_indicator(self):
+        scheme = ColoringScheme.fixed([0, 1, 1, 2], k=3)
+        assert scheme.indicator(1).tolist() == [0.0, 1.0, 1.0, 0.0]
+
+    def test_indicator_bounds(self):
+        scheme = ColoringScheme.fixed([0], k=2)
+        with pytest.raises(ColorError):
+            scheme.indicator(2)

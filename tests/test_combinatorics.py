@@ -1,0 +1,104 @@
+"""Tests for reference sequences and coloring probabilities."""
+
+from __future__ import annotations
+
+from math import factorial
+
+import pytest
+
+from repro.util.combinatorics import (
+    biased_colorful_probability,
+    binomial,
+    colorful_probability,
+    connected_graph_count,
+    free_tree_count,
+    rooted_tree_count,
+)
+
+
+class TestTreeCounts:
+    def test_rooted_sequence(self):
+        # OEIS A000081.
+        expected = [0, 1, 1, 2, 4, 9, 20, 48, 115, 286, 719]
+        assert [rooted_tree_count(n) for n in range(11)] == expected
+
+    def test_free_sequence(self):
+        # OEIS A000055.
+        expected = [0, 1, 1, 1, 2, 3, 6, 11, 23, 47, 106]
+        assert [free_tree_count(n) for n in range(11)] == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rooted_tree_count(-1)
+        with pytest.raises(ValueError):
+            free_tree_count(-2)
+
+
+class TestGraphCensus:
+    def test_known_values(self):
+        # The paper: 21 distinct 5-graphlets, 112 for 6, >10k for 8.
+        assert connected_graph_count(5) == 21
+        assert connected_graph_count(6) == 112
+        assert connected_graph_count(7) == 853
+        assert connected_graph_count(8) == 11117
+
+    def test_paper_k10_claim(self):
+        # "for k = 10 over 11.7M" (§1).
+        assert connected_graph_count(10) > 11_700_000
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            connected_graph_count(0)
+        with pytest.raises(ValueError):
+            connected_graph_count(11)
+
+
+class TestBinomial:
+    def test_triangle_row(self):
+        assert [binomial(5, k) for k in range(6)] == [1, 5, 10, 10, 5, 1]
+
+    def test_outside_triangle(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+        assert binomial(-1, 0) == 0
+
+
+class TestColorfulProbability:
+    def test_uniform_formula(self):
+        for k in range(1, 9):
+            assert colorful_probability(k) == pytest.approx(
+                factorial(k) / k**k
+            )
+
+    def test_uniform_k5(self):
+        # 5!/5^5 = 120/3125.
+        assert colorful_probability(5) == pytest.approx(0.0384)
+
+    def test_biased_reduces_to_uniform(self):
+        for k in range(2, 9):
+            assert biased_colorful_probability(k, 1.0 / k) == pytest.approx(
+                colorful_probability(k)
+            )
+
+    def test_biased_monotone_in_lambda(self):
+        # Smaller lambda -> smaller colorful probability (for lam <= 1/k).
+        k = 5
+        probabilities = [
+            biased_colorful_probability(k, lam)
+            for lam in (0.02, 0.05, 0.1, 0.2)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_biased_bounds(self):
+        with pytest.raises(ValueError):
+            biased_colorful_probability(5, 0.0)
+        with pytest.raises(ValueError):
+            biased_colorful_probability(5, 0.3)  # > 1/(k-1)
+
+    def test_k1_edge_cases(self):
+        assert colorful_probability(1) == pytest.approx(1.0)
+        assert biased_colorful_probability(1, 0.5) == pytest.approx(1.0)
+
+    def test_positive_k_required(self):
+        with pytest.raises(ValueError):
+            colorful_probability(0)

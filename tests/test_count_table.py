@@ -1,0 +1,150 @@
+"""Tests for the compact count table (motivo §3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.table.count_table import CountTable, Layer
+from repro.treelets.encoding import SINGLETON, encode_children, merge
+
+EDGE = merge(SINGLETON, SINGLETON)
+PATH3 = encode_children([EDGE])
+STAR3 = encode_children([SINGLETON, SINGLETON])
+
+
+def make_table():
+    """A small hand-built table: k=3, 4 vertices."""
+    table = CountTable(k=3, num_vertices=4, zero_rooted=False)
+    table.add_layer(1, {
+        (SINGLETON, 0b001): np.array([1.0, 0.0, 0.0, 1.0]),
+        (SINGLETON, 0b010): np.array([0.0, 1.0, 0.0, 0.0]),
+        (SINGLETON, 0b100): np.array([0.0, 0.0, 1.0, 0.0]),
+    })
+    table.add_layer(2, {
+        (EDGE, 0b011): np.array([1.0, 1.0, 0.0, 0.0]),
+        (EDGE, 0b101): np.array([2.0, 0.0, 1.0, 0.0]),
+    })
+    table.add_layer(3, {
+        (PATH3, 0b111): np.array([3.0, 1.0, 0.0, 2.0]),
+        (STAR3, 0b111): np.array([1.0, 0.0, 4.0, 0.0]),
+    })
+    return table
+
+
+class TestLayer:
+    def test_sorted_by_key(self):
+        keys = [(EDGE, 0b101), (EDGE, 0b011)]
+        counts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer = Layer(2, keys, counts)
+        assert layer.keys == [(EDGE, 0b011), (EDGE, 0b101)]
+        assert layer.counts[0].tolist() == [3.0, 4.0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TableError):
+            Layer(2, [(EDGE, 0b011)], np.zeros((2, 3)))
+
+    def test_duplicate_keys(self):
+        with pytest.raises(TableError):
+            Layer(2, [(EDGE, 0b011), (EDGE, 0b011)], np.zeros((2, 3)))
+
+    def test_cumulative_matches_running_sum(self):
+        layer = make_table().layer(3)
+        cumulative = layer.cumulative()
+        assert np.allclose(cumulative[-1], layer.totals())
+        assert np.allclose(np.diff(cumulative, axis=0), layer.counts[1:])
+
+    def test_nonzero_pairs(self):
+        assert make_table().layer(2).nonzero_pairs() == 4
+
+
+class TestCountTable:
+    def test_k_validation(self):
+        with pytest.raises(TableError):
+            CountTable(k=1, num_vertices=3, zero_rooted=False)
+
+    def test_layer_bounds(self):
+        table = make_table()
+        with pytest.raises(TableError):
+            table.add_layer(4, {})
+        with pytest.raises(TableError):
+            table.add_layer(2, {})  # duplicate
+
+    def test_wrong_size_key(self):
+        table = CountTable(k=3, num_vertices=2, zero_rooted=False)
+        with pytest.raises(TableError):
+            table.add_layer(1, {(EDGE, 0b011): np.zeros(2)})
+
+    def test_missing_layer(self):
+        table = CountTable(k=3, num_vertices=2, zero_rooted=False)
+        with pytest.raises(TableError):
+            table.layer(2)
+        assert not table.has_layer(2)
+
+    def test_occ_operations(self):
+        table = make_table()
+        assert table.occ(EDGE, 0b101, 0) == 2.0
+        assert table.occ(EDGE, 0b110, 0) == 0.0  # absent key
+        assert table.occ_total(0) == 4.0  # 3 + 1 at vertex 0
+        assert table.occ_total(2) == 4.0
+
+    def test_iter_treelet(self):
+        table = make_table()
+        pairs = dict(table.iter_treelet(EDGE, 0))
+        assert pairs == {0b011: 1.0, 0b101: 2.0}
+        assert dict(table.iter_treelet(EDGE, 3)) == {}
+
+    def test_record(self):
+        table = make_table()
+        record = table.record(0, 2)
+        assert record == [((EDGE, 0b011), 1.0), ((EDGE, 0b101), 2.0)]
+
+    def test_cumulative_record(self):
+        table = make_table()
+        record = table.cumulative_record(0, 3)
+        keys = [key for key, _ in record]
+        etas = [eta for _, eta in record]
+        assert etas == sorted(etas)
+        assert etas[-1] == table.occ_total(0)
+        assert keys == sorted(keys)
+
+    def test_root_weights(self):
+        table = make_table()
+        assert table.root_weights().tolist() == [4.0, 1.0, 4.0, 2.0]
+
+    def test_sample_key_distribution(self, rng):
+        table = make_table()
+        draws = [table.sample_key(0, rng) for _ in range(4000)]
+        path_fraction = sum(1 for key in draws if key[0] == PATH3) / 4000
+        # c(PATH3, v0) = 3 of total 4.
+        assert path_fraction == pytest.approx(0.75, abs=0.03)
+
+    def test_sample_key_empty_vertex(self, rng):
+        table = make_table()
+        table.layer(3).counts[:, 2] = 0.0
+        # Invalidate caches by rebuilding; simpler: vertex 1 has weight 1.
+        with pytest.raises(TableError):
+            fresh = make_table()
+            fresh.layer(3).counts[:, :] = 0.0
+            fresh.sample_key(0, rng)
+
+    def test_accounting(self):
+        table = make_table()
+        pairs = table.total_pairs()
+        assert pairs == 4 + 4 + 5  # nonzero entries per layer
+        assert table.paper_equivalent_bytes() == pairs * 176 // 8
+        assert table.actual_bytes() > 0
+
+    def test_drop_and_set_layer(self):
+        table = make_table()
+        layer = table.layer(2)
+        table.drop_layer(2)
+        assert not table.has_layer(2)
+        table.set_layer(layer)
+        assert table.has_layer(2)
+        with pytest.raises(TableError):
+            table.set_layer(layer)
+
+    def test_repr(self):
+        assert "CountTable(k=3" in repr(make_table())

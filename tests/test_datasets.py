@@ -1,0 +1,65 @@
+"""Tests for the named surrogate datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.datasets import dataset_info, dataset_names, load_dataset
+
+
+class TestRegistry:
+    def test_paper_table1_names_present(self):
+        names = set(dataset_names())
+        expected = {
+            "facebook", "berkstan", "amazon", "dblp", "orkut",
+            "livejournal", "yelp", "twitter", "friendster", "lollipop",
+        }
+        assert expected <= names
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_info_metadata(self):
+        info = dataset_info("yelp")
+        assert info.paper_nodes_m == pytest.approx(7.2)
+        assert info.paper_edges_m == pytest.approx(26.1)
+        assert info.paper_max_k == 8
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_loadable_and_nonempty(self, name):
+        g = load_dataset(name)
+        assert g.num_vertices > 0
+        assert g.num_edges > 0
+
+    def test_deterministic_and_cached(self):
+        a = load_dataset("facebook")
+        b = load_dataset("facebook")
+        assert a is b  # cached
+        assert a == dataset_info("facebook").builder()  # deterministic
+
+    def test_yelp_is_star_dominated(self):
+        """The AGS showcase regime: overwhelmingly degree-1 vertices."""
+        g = load_dataset("yelp")
+        degrees = g.degrees()
+        assert (degrees == 1).sum() > 0.95 * g.num_vertices
+
+    def test_berkstan_has_extreme_hub(self):
+        """The neighbor-buffering regime: one hub dwarfing the rest."""
+        g = load_dataset("berkstan")
+        degrees = np.sort(g.degrees())
+        assert degrees[-1] > 4 * degrees[-2]
+
+    def test_amazon_is_flat(self):
+        g = load_dataset("amazon")
+        assert g.max_degree <= 6
+
+    def test_lollipop_shape(self):
+        g = load_dataset("lollipop")
+        degrees = g.degrees()
+        assert degrees.min() == 1  # tail end
+        assert degrees.max() >= 59  # clique + tail attachment

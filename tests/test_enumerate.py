@@ -1,0 +1,83 @@
+"""Tests for exhaustive graphlet enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphletError
+from repro.graphlets.canonical import canonical_form
+from repro.graphlets.encoding import graphlet_edge_count, is_connected_graphlet
+from repro.graphlets.enumerate import (
+    clique_graphlet,
+    cycle_graphlet,
+    enumerate_graphlets,
+    graphlet_census,
+    graphlet_index,
+    path_graphlet,
+    star_graphlet,
+)
+
+
+class TestCensus:
+    @pytest.mark.parametrize(
+        "k,expected", [(1, 1), (2, 1), (3, 2), (4, 6), (5, 21), (6, 112)]
+    )
+    def test_matches_a001349(self, k, expected):
+        assert len(enumerate_graphlets(k)) == expected
+        assert graphlet_census(k) == expected
+
+    def test_k7_slow(self):
+        assert graphlet_census(7) == 853
+
+    def test_k8_falls_back_to_table(self):
+        # No enumeration needed; the paper's "over 10k" figure.
+        assert graphlet_census(8) == 11117
+
+    def test_bad_size(self):
+        with pytest.raises(GraphletError):
+            enumerate_graphlets(0)
+
+
+class TestProperties:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_all_connected(self, k):
+        for bits in enumerate_graphlets(k):
+            assert is_connected_graphlet(bits, k)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_all_canonical(self, k):
+        for bits in enumerate_graphlets(k):
+            assert canonical_form(bits, k) == bits
+
+    @pytest.mark.parametrize("k", [4, 5, 6])
+    def test_sorted_and_distinct(self, k):
+        graphlets = enumerate_graphlets(k)
+        assert list(graphlets) == sorted(set(graphlets))
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_edge_count_range(self, k):
+        counts = {graphlet_edge_count(bits) for bits in enumerate_graphlets(k)}
+        assert min(counts) == k - 1  # trees
+        assert max(counts) == k * (k - 1) // 2  # the clique
+
+
+class TestNamedGraphlets:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_specials_are_enumerated(self, k):
+        graphlets = set(enumerate_graphlets(k))
+        assert clique_graphlet(k) in graphlets
+        assert star_graphlet(k) in graphlets
+        assert path_graphlet(k) in graphlets
+        assert cycle_graphlet(k) in graphlets
+
+    def test_star_and_path_distinct(self):
+        for k in (4, 5, 6):
+            assert star_graphlet(k) != path_graphlet(k)
+
+    def test_k3_star_is_path(self):
+        assert star_graphlet(3) == path_graphlet(3)
+
+    def test_index(self):
+        index = graphlet_index(5)
+        assert len(index) == 21
+        assert sorted(index.values()) == list(range(21))

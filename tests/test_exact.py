@@ -1,0 +1,123 @@
+"""Tests for the exact counters (ESU vs brute force vs closed forms)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.colorcoding.coloring import ColoringScheme
+from repro.errors import SamplingError
+from repro.exact.brute import brute_force_counts
+from repro.exact.esu import enumerate_occurrences, exact_colorful_counts, exact_counts
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graphlets.enumerate import (
+    clique_graphlet,
+    cycle_graphlet,
+    path_graphlet,
+    star_graphlet,
+)
+
+
+class TestEnumeration:
+    def test_counts_connected_subsets_once(self):
+        g = cycle_graph(6)
+        occurrences = list(enumerate_occurrences(g, 3))
+        # C6 has exactly 6 induced P3's (each window of 3 vertices).
+        assert len(occurrences) == 6
+        assert len(set(occurrences)) == 6
+
+    def test_k1(self):
+        g = path_graph(4)
+        assert len(list(enumerate_occurrences(g, 1))) == 4
+
+    def test_k2_is_edges(self):
+        g = erdos_renyi(15, 40, rng=1)
+        assert len(list(enumerate_occurrences(g, 2))) == g.num_edges
+
+    def test_complete_graph_all_subsets(self):
+        from math import comb
+
+        g = complete_graph(7)
+        assert len(list(enumerate_occurrences(g, 4))) == comb(7, 4)
+
+
+class TestClosedForms:
+    def test_path_graph(self):
+        # P_n contains exactly n-k+1 induced k-paths and nothing else.
+        g = path_graph(10)
+        counts = exact_counts(g, 4)
+        assert counts == {path_graphlet(4): 7}
+
+    def test_cycle_graph(self):
+        g = cycle_graph(9)
+        counts = exact_counts(g, 4)
+        assert counts == {path_graphlet(4): 9}
+
+    def test_cycle_graph_own_size(self):
+        g = cycle_graph(5)
+        counts = exact_counts(g, 5)
+        assert counts == {cycle_graphlet(5): 1}
+
+    def test_star_graph(self):
+        from math import comb
+
+        g = star_graph(8)
+        counts = exact_counts(g, 4)
+        assert counts == {star_graphlet(4): comb(8, 3)}
+
+    def test_complete_graph(self):
+        from math import comb
+
+        g = complete_graph(8)
+        counts = exact_counts(g, 5)
+        assert counts == {clique_graphlet(5): comb(8, 5)}
+
+
+class TestEsuVsBrute:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_random_graphs_agree(self, seed, k):
+        g = erdos_renyi(13, 28, rng=seed)
+        assert exact_counts(g, k) == brute_force_counts(g, k)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_colorful_counts_agree(self, seed):
+        g = erdos_renyi(13, 28, rng=seed + 10)
+        k = 4
+        coloring = ColoringScheme.uniform(13, k, rng=seed + 20)
+        assert exact_colorful_counts(g, k, coloring) == brute_force_counts(
+            g, k, coloring=coloring
+        )
+
+    def test_colorful_subset_of_total(self):
+        g = erdos_renyi(14, 30, rng=30)
+        k = 4
+        coloring = ColoringScheme.uniform(14, k, rng=31)
+        colorful = exact_colorful_counts(g, k, coloring)
+        total = exact_counts(g, k)
+        for bits, count in colorful.items():
+            assert count <= total[bits]
+
+
+class TestValidation:
+    def test_brute_force_budget(self):
+        g = erdos_renyi(100, 300, rng=2)
+        with pytest.raises(SamplingError, match="budget"):
+            brute_force_counts(g, 5, max_subsets=1000)
+
+    def test_coloring_k_mismatch(self):
+        g = path_graph(5)
+        coloring = ColoringScheme.uniform(5, 3, rng=0)
+        with pytest.raises(SamplingError):
+            exact_colorful_counts(g, 4, coloring)
+
+    def test_k_positive(self):
+        with pytest.raises(SamplingError):
+            list(enumerate_occurrences(path_graph(3), 0))

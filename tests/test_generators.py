@@ -1,0 +1,157 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    hub_and_spokes,
+    lollipop,
+    path_graph,
+    random_regular,
+    star_graph,
+    star_heavy,
+    stochastic_block,
+)
+
+
+class TestDeterministicShapes:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert g.degrees().tolist() == [5] * 6
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert g.degrees().tolist() == [2] * 7
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert sorted(g.degrees().tolist()) == [1, 1, 2, 2, 2]
+
+    def test_star(self):
+        g = star_graph(8)
+        assert g.degree(0) == 8
+        assert g.num_edges == 8
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(50, 200, rng=1)
+        assert g.num_edges == 200
+        assert g.num_vertices == 50
+
+    def test_too_many_edges(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(4, 10)
+
+    def test_deterministic(self):
+        assert erdos_renyi(30, 60, rng=5) == erdos_renyi(30, 60, rng=5)
+
+    def test_zero_edges(self):
+        assert erdos_renyi(10, 0, rng=1).num_edges == 0
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        g = barabasi_albert(200, 4, rng=2)
+        assert g.num_vertices == 200
+        assert g.is_connected()
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 3, rng=3)
+        degrees = np.sort(g.degrees())[::-1]
+        # Hubs exist: the top degree dwarfs the median.
+        assert degrees[0] > 5 * np.median(degrees)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(3, 5)
+
+
+class TestRandomRegular:
+    def test_near_regular(self):
+        g = random_regular(100, 6, rng=4)
+        degrees = g.degrees()
+        assert degrees.max() <= 6
+        assert degrees.mean() > 5.0  # few collisions
+
+    def test_parity(self):
+        with pytest.raises(GraphError):
+            random_regular(5, 3)
+
+
+class TestStochasticBlock:
+    def test_block_density(self):
+        g = stochastic_block([30, 30], p_in=0.4, p_out=0.01, rng=5)
+        inside = sum(
+            1 for u, v in g.edges() if (u < 30) == (v < 30)
+        )
+        outside = g.num_edges - inside
+        assert inside > 5 * max(outside, 1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(GraphError):
+            stochastic_block([5], 1.5, 0.0)
+
+
+class TestStarHeavy:
+    def test_structure(self):
+        g = star_heavy(10, 50, bridge_edges=5, rng=6)
+        assert g.num_vertices == 10 * 51
+        degrees = g.degrees()
+        # Hubs have degree >= leaves; leaves have degree 1.
+        assert (degrees >= 50).sum() == 10
+        assert (degrees == 1).sum() >= 10 * 50 - 20
+        assert g.is_connected()
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            star_heavy(0, 5)
+
+
+class TestHubAndSpokes:
+    def test_single_extreme_hub(self):
+        g = hub_and_spokes(400, 3, hub_fraction=0.5, rng=7)
+        degrees = g.degrees()
+        hub_degree = degrees[-1]
+        assert hub_degree >= 0.45 * 399
+        assert hub_degree > 3 * np.sort(degrees[:-1])[-1] / 2
+
+    def test_fraction_bounds(self):
+        with pytest.raises(GraphError):
+            hub_and_spokes(10, 2, hub_fraction=0.0)
+
+
+class TestLollipop:
+    def test_theorem5_structure(self):
+        g = lollipop(10, 4)
+        assert g.num_vertices == 14
+        # Clique part.
+        assert g.num_edges == 45 + 4
+        # Tail is a path: last vertex has degree 1.
+        assert g.degree(13) == 1
+        assert g.degree(12) == 2
+        # Attachment vertex has clique degree + 1.
+        assert g.degree(0) == 10
+        assert g.is_connected()
+
+    def test_no_tail(self):
+        g = lollipop(5, 0)
+        assert g == complete_graph(5)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            lollipop(0, 3)

@@ -1,0 +1,94 @@
+"""Tests for graph loading/saving (text and binary formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import barabasi_albert, cycle_graph
+from repro.graph.io import load_binary, load_edge_list, save_binary, save_edge_list
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = barabasi_albert(40, 3, rng=1)
+        path = tmp_path / "graph.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded == g
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n\n0 1\n1 2\n# trailing\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 weight=3\n")
+        assert load_edge_list(path).num_edges == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            load_edge_list(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            load_edge_list(path)
+
+    def test_duplicate_edges_merged(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1\n1 0\n0 1\n")
+        assert load_edge_list(path).num_edges == 1
+
+
+class TestBinary:
+    def test_round_trip(self, tmp_path):
+        g = barabasi_albert(60, 4, rng=2)
+        path = tmp_path / "graph.npz"
+        save_binary(g, path)
+        assert load_binary(path) == g
+
+    def test_bad_payload(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(GraphFormatError, match="not a repro binary"):
+            load_binary(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "magic.npz"
+        g = cycle_graph(4)
+        np.savez(
+            path,
+            magic=np.array("other-format"),
+            indptr=g.indptr,
+            indices=g.indices,
+        )
+        with pytest.raises(GraphFormatError, match="bad magic"):
+            load_binary(path)
+
+    def test_inconsistent_csr(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        g = cycle_graph(4)
+        np.savez(
+            path,
+            magic=np.array("repro-graph-v1"),
+            indptr=g.indptr,
+            indices=g.indices[:-1],
+        )
+        with pytest.raises(GraphFormatError, match="inconsistent"):
+            load_binary(path)
+
+    def test_empty_graph(self, tmp_path):
+        from repro.graph.graph import Graph
+
+        path = tmp_path / "empty.npz"
+        save_binary(Graph.empty(7), path)
+        loaded = load_binary(path)
+        assert loaded.num_vertices == 7
+        assert loaded.num_edges == 0

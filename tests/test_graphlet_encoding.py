@@ -1,0 +1,129 @@
+"""Tests for the packed graphlet adjacency encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphletError
+from repro.graphlets.encoding import (
+    adjacency_sets,
+    decode_graphlet,
+    encode_adjacency,
+    encode_edges,
+    graphlet_degrees,
+    graphlet_edge_count,
+    is_connected_graphlet,
+    pair_index,
+    relabel,
+)
+
+
+@st.composite
+def graphlet_bits(draw, k=5):
+    return draw(st.integers(min_value=0, max_value=(1 << (k * (k - 1) // 2)) - 1))
+
+
+class TestPairIndex:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8, 16])
+    def test_bijection(self, k):
+        seen = set()
+        for i in range(k):
+            for j in range(i + 1, k):
+                idx = pair_index(i, j, k)
+                assert 0 <= idx < k * (k - 1) // 2
+                seen.add(idx)
+        assert len(seen) == k * (k - 1) // 2
+
+    def test_first_pair_is_bit_zero(self):
+        assert pair_index(0, 1, 5) == 0
+
+    def test_paper_120_bit_bound(self):
+        # k=16 fits in 120 bits, as in §3.3.
+        assert pair_index(14, 15, 16) == 119
+
+    def test_rejects_bad_pairs(self):
+        with pytest.raises(GraphletError):
+            pair_index(2, 2, 5)
+        with pytest.raises(GraphletError):
+            pair_index(3, 1, 5)
+        with pytest.raises(GraphletError):
+            pair_index(0, 5, 5)
+
+
+class TestEncodeDecode:
+    def test_edges_round_trip(self):
+        edges = [(0, 1), (1, 2), (0, 3)]
+        bits = encode_edges(edges, 4)
+        assert sorted(decode_graphlet(bits, 4)) == sorted(edges)
+
+    def test_unordered_endpoints(self):
+        assert encode_edges([(2, 0)], 3) == encode_edges([(0, 2)], 3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphletError):
+            encode_edges([(1, 1)], 3)
+
+    def test_adjacency_matrix(self):
+        matrix = np.zeros((3, 3), dtype=int)
+        matrix[0, 1] = matrix[1, 0] = 1
+        assert encode_adjacency(matrix, 3) == encode_edges([(0, 1)], 3)
+
+    def test_adjacency_shape_check(self):
+        with pytest.raises(GraphletError):
+            encode_adjacency(np.zeros((2, 3)), 3)
+
+    @given(graphlet_bits())
+    def test_decode_encode_identity(self, bits):
+        assert encode_edges(decode_graphlet(bits, 5), 5) == bits
+
+    @given(graphlet_bits())
+    def test_degrees_sum(self, bits):
+        assert sum(graphlet_degrees(bits, 5)) == 2 * graphlet_edge_count(bits)
+
+    @given(graphlet_bits())
+    def test_adjacency_sets_symmetric(self, bits):
+        adjacency = adjacency_sets(bits, 5)
+        for i in range(5):
+            for j in adjacency[i]:
+                assert i in adjacency[j]
+
+
+class TestConnectivity:
+    def test_known_cases(self):
+        path = encode_edges([(0, 1), (1, 2)], 3)
+        assert is_connected_graphlet(path, 3)
+        just_edge = encode_edges([(0, 1)], 3)
+        assert not is_connected_graphlet(just_edge, 3)
+        assert is_connected_graphlet(0, 1)
+        assert not is_connected_graphlet(0, 2)
+
+
+class TestRelabel:
+    def test_identity(self):
+        bits = encode_edges([(0, 1), (2, 3)], 4)
+        assert relabel(bits, 4, [0, 1, 2, 3]) == bits
+
+    def test_swap(self):
+        bits = encode_edges([(0, 1)], 3)
+        swapped = relabel(bits, 3, [2, 1, 0])
+        assert swapped == encode_edges([(1, 2)], 3)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GraphletError):
+            relabel(0, 3, [0, 0, 1])
+
+    @given(graphlet_bits(), st.permutations(list(range(5))))
+    def test_preserves_edge_count(self, bits, permutation):
+        assert graphlet_edge_count(relabel(bits, 5, permutation)) == (
+            graphlet_edge_count(bits)
+        )
+
+    @given(graphlet_bits(), st.permutations(list(range(5))))
+    def test_composition(self, bits, permutation):
+        inverse = [0] * 5
+        for position, target in enumerate(permutation):
+            inverse[target] = position
+        assert relabel(relabel(bits, 5, permutation), 5, inverse) == bits

@@ -1,0 +1,156 @@
+"""End-to-end integration tests across the full pipeline.
+
+These exercise the complete paper workflow on graphs where exact ground
+truth is computable, verifying the statistical contract rather than any
+single module: build → urn → sample → estimate ≈ exact counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exact.esu import exact_counts
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import erdos_renyi, lollipop
+from repro.graphlets.enumerate import path_graphlet
+from repro.motivo import MotivoConfig, MotivoCounter
+from repro.sampling.estimates import accuracy_census, count_errors, l1_error
+
+
+class TestEndToEndAccuracy:
+    @pytest.fixture(scope="class")
+    def world(self):
+        graph = erdos_renyi(120, 420, rng=70)
+        k = 4
+        truth = exact_counts(graph, k)
+        return graph, k, truth
+
+    def test_l1_error_small(self, world):
+        """The §5.2 claim, scaled: ℓ1 frequency error below 5%."""
+        graph, k, truth = world
+        counter = MotivoCounter(graph, MotivoConfig(k=k, seed=71))
+        averaged = counter.averaged_naive(runs=6, samples_per_run=20_000)
+        assert l1_error(averaged, truth) < 0.05
+
+    def test_count_errors_centered(self, world):
+        graph, k, truth = world
+        counter = MotivoCounter(graph, MotivoConfig(k=k, seed=72))
+        averaged = counter.averaged_naive(runs=6, samples_per_run=20_000)
+        errors = count_errors(averaged, truth)
+        bulk = [e for bits, e in errors.items() if truth[bits] > 50]
+        assert all(abs(e) < 0.5 for e in bulk)
+
+    def test_accuracy_census_majority(self, world):
+        graph, k, truth = world
+        counter = MotivoCounter(graph, MotivoConfig(k=k, seed=73))
+        averaged = counter.averaged_naive(runs=6, samples_per_run=20_000)
+        _count, fraction = accuracy_census(averaged, truth, tolerance=0.5)
+        assert fraction > 0.6
+
+    def test_ags_and_naive_agree_on_bulk(self, world):
+        graph, k, _ = world
+        counter = MotivoCounter(graph, MotivoConfig(k=k, seed=74))
+        counter.build()
+        naive = counter.sample_naive(20_000)
+        ags = counter.sample_ags(20_000, cover_threshold=300).estimates
+        for bits, value in naive.top(3):
+            assert ags.counts.get(bits, 0.0) == pytest.approx(value, rel=0.3)
+
+
+class TestLollipopTheorem5:
+    """Theorem 5's lower bound, reproduced: on the lollipop graph the
+    clique floods the path-treelet urn with non-induced path copies, so
+    *any* sample(T)-based algorithm — AGS included — needs Ω(1/p_H)
+    samples to witness one induced k-path."""
+
+    def test_induced_paths_stay_hidden(self):
+        graph = lollipop(25, 6)
+        k = 4
+        truth = exact_counts(graph, k)
+        total = sum(truth.values())
+        path_bits = path_graphlet(k)
+        path_fraction = truth[path_bits] / total
+        assert 0 < path_fraction < 0.02  # rare, as constructed
+
+        counter = MotivoCounter(graph, MotivoConfig(k=k, seed=75))
+        counter.build()
+        urn = counter.urn
+
+        # Quantify the theorem: the probability that a path-shape sample
+        # spans an induced path is tiny (the clique owns the path urn).
+        from repro.exact.esu import exact_colorful_counts
+        from repro.graphlets.spanning import spanning_tree_shape_counts
+        from repro.treelets.encoding import encode_parent_vector
+
+        path_shape = canonical_free_path()
+        colorful = exact_colorful_counts(graph, k, counter.coloring)
+        sigma = spanning_tree_shape_counts(path_bits, k)
+        hit_probability = (
+            colorful.get(path_bits, 0)
+            * sigma.get(path_shape, 0)
+            / urn.shape_total(path_shape)
+        )
+        assert hit_probability < 2e-3
+
+        # A modest budget therefore sees (almost) no induced paths even
+        # under AGS — the additive barrier Theorem 5 formalizes.
+        result = counter.sample_ags(3000, cover_threshold=200)
+        assert result.estimates.hits.get(path_bits, 0) <= 20
+
+
+def canonical_free_path():
+    from repro.treelets.encoding import canonical_free, encode_parent_vector
+
+    return canonical_free(encode_parent_vector([-1, 0, 1, 2]))
+
+
+class TestDatasetSmoke:
+    @pytest.mark.parametrize("name", ["facebook", "amazon", "yelp"])
+    def test_pipeline_runs_on_surrogates(self, name):
+        graph = load_dataset(name)
+        counter = MotivoCounter(graph, MotivoConfig(k=5, seed=76))
+        counter.build()
+        estimates = counter.sample_naive(1500)
+        assert estimates.total > 0
+        assert estimates.distinct_graphlets() >= 1
+        frequencies = estimates.frequencies()
+        assert sum(frequencies.values()) == pytest.approx(1.0)
+
+    def test_deep_k_on_facebook(self):
+        """k = 7: 48 rooted treelet shapes, 11 free shapes — the pipeline
+        must stay consistent at depth."""
+        graph = load_dataset("facebook")
+        counter = MotivoCounter(graph, MotivoConfig(k=7, seed=77))
+        counter.build()
+        estimates = counter.sample_naive(1000)
+        assert estimates.distinct_graphlets() > 50
+
+
+class TestConcentration:
+    def test_variance_shrinks_with_averaging(self):
+        """Theorem 3's practical face: multi-coloring averages have lower
+        dispersion than single-coloring estimates."""
+        graph = erdos_renyi(60, 180, rng=78)
+        k = 4
+        truth = exact_counts(graph, k)
+        top_bits = max(truth, key=truth.get)
+
+        singles = []
+        for seed in range(8):
+            counter = MotivoCounter(graph, MotivoConfig(k=k, seed=200 + seed))
+            counter.build()
+            singles.append(
+                counter.sample_naive(4000).counts.get(top_bits, 0.0)
+            )
+        averaged = []
+        for seed in range(4):
+            counter = MotivoCounter(graph, MotivoConfig(k=k, seed=300 + seed))
+            averaged.append(
+                counter.averaged_naive(runs=8, samples_per_run=4000)
+                .counts.get(top_bits, 0.0)
+            )
+        true_value = truth[top_bits]
+        single_spread = np.std([s / true_value for s in singles])
+        averaged_spread = np.std([a / true_value for a in averaged])
+        assert averaged_spread < single_spread + 0.05

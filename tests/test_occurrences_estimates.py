@@ -1,0 +1,178 @@
+"""Tests for graphlet classification and the estimate containers/metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SamplingError
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+from repro.graphlets.enumerate import (
+    clique_graphlet,
+    cycle_graphlet,
+    path_graphlet,
+    star_graphlet,
+)
+from repro.sampling.estimates import (
+    GraphletEstimates,
+    accuracy_census,
+    count_errors,
+    l1_error,
+    rarest_frequency,
+)
+from repro.sampling.occurrences import GraphletClassifier
+
+
+class TestClassifier:
+    def test_known_shapes(self):
+        g = cycle_graph(6)
+        classifier = GraphletClassifier(g, 4)
+        assert classifier.classify([0, 1, 2, 3]) == path_graphlet(4)
+        g2 = complete_graph(5)
+        classifier2 = GraphletClassifier(g2, 4)
+        assert classifier2.classify([0, 1, 2, 3]) == clique_graphlet(4)
+
+    def test_cycle_detection(self):
+        g = cycle_graph(5)
+        classifier = GraphletClassifier(g, 5)
+        assert classifier.classify([0, 1, 2, 3, 4]) == cycle_graphlet(5)
+
+    def test_star_detection(self):
+        from repro.graph.generators import star_graph
+
+        g = star_graph(5)
+        classifier = GraphletClassifier(g, 4)
+        assert classifier.classify([0, 1, 2, 3]) == star_graphlet(4)
+
+    def test_vertex_order_irrelevant(self):
+        g = path_graph(6)
+        classifier = GraphletClassifier(g, 4)
+        a = classifier.classify([0, 1, 2, 3])
+        b = classifier.classify([3, 1, 0, 2])
+        assert a == b
+
+    def test_cache_hits(self):
+        g = path_graph(5)
+        classifier = GraphletClassifier(g, 4)
+        classifier.classify([0, 1, 2, 3])
+        classifier.classify([3, 2, 1, 0])
+        assert classifier.cache_hits == 1
+        assert classifier.classified == 2
+
+    def test_rejects_wrong_arity(self):
+        classifier = GraphletClassifier(path_graph(5), 4)
+        with pytest.raises(SamplingError):
+            classifier.classify([0, 1, 2])
+
+    def test_rejects_duplicates(self):
+        classifier = GraphletClassifier(path_graph(5), 4)
+        with pytest.raises(SamplingError):
+            classifier.classify([0, 1, 1, 2])
+
+    def test_k_validation(self):
+        with pytest.raises(SamplingError):
+            GraphletClassifier(path_graph(3), 1)
+
+
+class TestEstimatesContainer:
+    def make(self):
+        return GraphletEstimates(
+            k=4,
+            counts={1: 90.0, 2: 10.0},
+            samples=100,
+            hits={1: 90, 2: 10},
+            method="naive",
+        )
+
+    def test_total_and_frequency(self):
+        est = self.make()
+        assert est.total == pytest.approx(100.0)
+        assert est.frequency(1) == pytest.approx(0.9)
+        assert est.frequency(7) == 0.0
+
+    def test_frequencies_sum_to_one(self):
+        freqs = self.make().frequencies()
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        empty = GraphletEstimates(k=4, counts={})
+        assert empty.total == 0.0
+        assert empty.frequencies() == {}
+        assert empty.frequency(1) == 0.0
+
+    def test_top(self):
+        assert self.make().top(1) == [(1, 90.0)]
+
+    def test_distinct(self):
+        est = GraphletEstimates(k=4, counts={1: 5.0, 2: 0.0})
+        assert est.distinct_graphlets() == 1
+
+
+class TestErrorMetrics:
+    def test_count_errors(self):
+        est = GraphletEstimates(k=4, counts={1: 110.0, 2: 0.0})
+        truth = {1: 100.0, 2: 50.0, 3: 0.0}
+        errors = count_errors(est, truth)
+        assert errors[1] == pytest.approx(0.1)
+        assert errors[2] == pytest.approx(-1.0)  # missed
+        assert 3 not in errors  # zero-truth graphlets skipped
+
+    def test_l1_error_perfect(self):
+        est = GraphletEstimates(k=4, counts={1: 60.0, 2: 40.0})
+        truth = {1: 600.0, 2: 400.0}
+        assert l1_error(est, truth) == pytest.approx(0.0)
+
+    def test_l1_error_disjoint(self):
+        est = GraphletEstimates(k=4, counts={1: 1.0})
+        truth = {2: 1.0}
+        assert l1_error(est, truth) == pytest.approx(2.0)
+
+    def test_l1_requires_truth(self):
+        with pytest.raises(ValueError):
+            l1_error(GraphletEstimates(k=4, counts={}), {})
+
+    def test_accuracy_census(self):
+        est = GraphletEstimates(k=4, counts={1: 100.0, 2: 30.0, 3: 500.0})
+        truth = {1: 100.0, 2: 100.0, 3: 400.0}
+        count, fraction = accuracy_census(est, truth, tolerance=0.5)
+        assert count == 2  # graphlet 2 is off by 70%
+        assert fraction == pytest.approx(2 / 3)
+
+    def test_accuracy_census_requires_support(self):
+        with pytest.raises(ValueError):
+            accuracy_census(GraphletEstimates(k=4, counts={}), {1: 0.0})
+
+    def test_rarest_frequency(self):
+        est = GraphletEstimates(
+            k=4,
+            counts={1: 1000.0, 2: 1.0, 3: 0.5},
+            hits={1: 900, 2: 12, 3: 3},
+        )
+        rarest = rarest_frequency(est, min_hits=10)
+        # Graphlet 3 has too few hits; graphlet 2 qualifies.
+        assert rarest == pytest.approx(est.frequency(2))
+
+    def test_rarest_frequency_none(self):
+        est = GraphletEstimates(k=4, counts={1: 1.0}, hits={1: 2})
+        assert rarest_frequency(est, min_hits=10) is None
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        original = GraphletEstimates(
+            k=5,
+            counts={0x32: 12.5, 0x3F: 3.0},
+            samples=400,
+            hits={0x32: 390, 0x3F: 10},
+            method="ags",
+        )
+        restored = GraphletEstimates.from_json(original.to_json())
+        assert restored == original
+
+    def test_json_defaults(self):
+        restored = GraphletEstimates.from_json(
+            '{"k": 4, "counts": {"0x2": 1.0}}'
+        )
+        assert restored.k == 4
+        assert restored.counts == {2: 1.0}
+        assert restored.hits == {}
+        assert restored.method == "naive"

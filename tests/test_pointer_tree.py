@@ -1,0 +1,145 @@
+"""Tests for the CC-style pointer treelets, cross-checked vs succinct ops."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MergeError
+from repro.treelets.encoding import (
+    SINGLETON,
+    beta,
+    can_merge,
+    decomp,
+    getsize,
+    merge,
+    treelet_key,
+)
+from repro.treelets.pointer_tree import PointerTreeFactory
+from repro.treelets.registry import enumerate_rooted_treelets
+from repro.util.instrument import Instrumentation
+
+
+@st.composite
+def random_encoding(draw, max_nodes=8):
+    from repro.treelets.encoding import encode_parent_vector
+
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = [-1]
+    for node in range(1, n):
+        parents.append(draw(st.integers(min_value=0, max_value=node - 1)))
+    return encode_parent_vector(parents)
+
+
+class TestInterning:
+    def test_singleton_identity(self):
+        factory = PointerTreeFactory()
+        assert factory.from_children([]) is factory.singleton
+
+    def test_structural_interning(self):
+        factory = PointerTreeFactory()
+        s = factory.singleton
+        a = factory.from_children([s, s])
+        b = factory.from_children([s, s])
+        assert a is b
+        assert factory.interned_count >= 2
+
+    @given(random_encoding())
+    def test_round_trip(self, encoding):
+        factory = PointerTreeFactory()
+        tree = factory.from_encoding(encoding)
+        assert factory.to_encoding(tree) == encoding
+        assert tree.size == getsize(encoding)
+
+
+class TestOrderAgreement:
+    @given(random_encoding(), random_encoding())
+    def test_compare_matches_succinct_order(self, enc_a, enc_b):
+        factory = PointerTreeFactory()
+        a = factory.from_encoding(enc_a)
+        b = factory.from_encoding(enc_b)
+        result = factory.compare(a, b)
+        ka, kb = treelet_key(enc_a), treelet_key(enc_b)
+        if enc_a == enc_b:
+            assert result == 0
+        else:
+            # The pointer order and the succinct order must agree on which
+            # operand comes first (they define the same canonical forms).
+            assert (result < 0) == (ka < kb)
+
+    def test_comparisons_counted(self):
+        inst = Instrumentation()
+        factory = PointerTreeFactory(inst)
+        a = factory.from_encoding(merge(SINGLETON, SINGLETON))
+        b = factory.from_encoding(SINGLETON)
+        factory.compare(a, b)
+        assert inst["pointer_comparisons"] >= 1
+
+
+class TestCheckAndMerge:
+    @given(random_encoding(max_nodes=6), random_encoding(max_nodes=6))
+    def test_merge_agrees_with_succinct(self, enc_a, enc_b):
+        factory = PointerTreeFactory()
+        a = factory.from_encoding(enc_a)
+        b = factory.from_encoding(enc_b)
+        merged = factory.check_and_merge(a, b)
+        if can_merge(enc_a, enc_b):
+            assert merged is not None
+            assert factory.to_encoding(merged) == merge(enc_a, enc_b)
+        else:
+            assert merged is None
+
+    def test_merge_counted(self):
+        inst = Instrumentation()
+        factory = PointerTreeFactory(inst)
+        factory.check_and_merge(factory.singleton, factory.singleton)
+        assert inst["check_and_merge"] == 1
+        assert inst["merge_success"] == 1
+
+    def test_strict_merge_raises(self):
+        factory = PointerTreeFactory()
+        s = factory.singleton
+        edge = factory.from_children([s])
+        path3 = factory.from_children([edge])
+        with pytest.raises(MergeError):
+            factory.merge(path3, path3)
+
+
+class TestDecompBeta:
+    @given(random_encoding())
+    def test_decomp_matches(self, encoding):
+        if encoding == SINGLETON:
+            return
+        factory = PointerTreeFactory()
+        tree = factory.from_encoding(encoding)
+        rest, first = factory.decomp(tree)
+        enc_rest, enc_first = decomp(encoding)
+        assert factory.to_encoding(rest) == enc_rest
+        assert factory.to_encoding(first) == enc_first
+
+    @given(random_encoding())
+    def test_beta_matches(self, encoding):
+        if encoding == SINGLETON:
+            return
+        factory = PointerTreeFactory()
+        assert factory.beta(factory.from_encoding(encoding)) == beta(encoding)
+
+    def test_decomp_singleton_raises(self):
+        factory = PointerTreeFactory()
+        with pytest.raises(MergeError):
+            factory.decomp(factory.singleton)
+
+    def test_beta_singleton_raises(self):
+        factory = PointerTreeFactory()
+        with pytest.raises(MergeError):
+            factory.beta(factory.singleton)
+
+
+class TestExhaustiveAgreement:
+    def test_all_treelets_round_trip_through_factory(self):
+        factory = PointerTreeFactory()
+        for level in enumerate_rooted_treelets(6):
+            for encoding in level:
+                tree = factory.from_encoding(encoding)
+                assert factory.to_encoding(tree) == encoding

@@ -1,0 +1,75 @@
+"""Deterministic regression snapshots.
+
+These pin down exact numeric outputs of the pipeline on fixed seeds.  They
+carry no mathematical meaning on their own — the invariants live in the
+other test modules — but they catch *accidental* behavioral drift during
+refactors: any change to the coloring stream, treelet ordering, the DP, or
+the sampling recursion shows up here first, loudly.
+
+If a change is intentional (e.g. a new canonical order), regenerate the
+constants and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.urn import TreeletUrn
+from repro.graph.datasets import load_dataset
+from repro.motivo import MotivoConfig, MotivoCounter
+
+
+class TestBuildSnapshots:
+    @pytest.fixture(scope="class")
+    def facebook_urn(self):
+        graph = load_dataset("facebook")
+        coloring = ColoringScheme.uniform(graph.num_vertices, 5, rng=4242)
+        table = build_table(graph, coloring)
+        return TreeletUrn(graph, table, coloring)
+
+    def test_total_treelets(self, facebook_urn):
+        assert facebook_urn.total_treelets == pytest.approx(2_261_251.0)
+
+    def test_total_pairs(self, facebook_urn):
+        assert facebook_urn.table.total_pairs() == 17_129
+
+    def test_shape_totals(self, facebook_urn):
+        expected = {0xAA: 391_026.0, 0xAC: 1_304_492.0, 0xCC: 565_733.0}
+        for shape, value in expected.items():
+            assert facebook_urn.shape_total(shape) == pytest.approx(value)
+
+    def test_shape_totals_cover_everything(self, facebook_urn):
+        total = sum(
+            facebook_urn.shape_total(s)
+            for s in facebook_urn.registry.free_shapes
+        )
+        assert total == pytest.approx(facebook_urn.total_treelets)
+
+
+class TestEstimateSnapshots:
+    def test_naive_top3(self):
+        graph = load_dataset("facebook")
+        counter = MotivoCounter(graph, MotivoConfig(k=4, seed=777))
+        counter.build()
+        estimates = counter.sample_naive(2000)
+        top3 = [(bits, round(value, 1)) for bits, value in estimates.top(3)]
+        assert top3 == [
+            (0x32, 741_009.6),
+            (0x34, 620_801.4),
+            (0x36, 79_041.0),
+        ]
+        assert sum(estimates.hits.values()) == 2000
+
+    def test_dataset_fingerprints(self):
+        """Surrogate graphs themselves are frozen."""
+        expected = {
+            "facebook": (600, 2985),
+            "berkstan": (900, 3095),
+            "amazon": (1200, 3591),
+            "yelp": (3630, 3652),
+        }
+        for name, (n, m) in expected.items():
+            graph = load_dataset(name)
+            assert (graph.num_vertices, graph.num_edges) == (n, m), name

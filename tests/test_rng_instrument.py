@@ -1,0 +1,99 @@
+"""Tests for RNG plumbing and instrumentation counters."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.instrument import Instrumentation
+from repro.util.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_from_seed_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(9)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRng:
+    def test_count(self):
+        streams = spawn_rng(1, 5)
+        assert len(streams) == 5
+
+    def test_independent_but_deterministic(self):
+        first = [g.integers(0, 10**9) for g in spawn_rng(7, 3)]
+        second = [g.integers(0, 10**9) for g in spawn_rng(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3  # streams differ from each other
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(1, -1)
+
+    def test_zero_streams(self):
+        assert spawn_rng(1, 0) == []
+
+
+class TestInstrumentation:
+    def test_count_accumulates(self):
+        inst = Instrumentation()
+        inst.count("merges")
+        inst.count("merges", 4)
+        assert inst["merges"] == 5
+        assert inst["missing"] == 0
+
+    def test_timer_accumulates(self):
+        inst = Instrumentation()
+        with inst.timer("work"):
+            time.sleep(0.01)
+        with inst.timer("work"):
+            time.sleep(0.01)
+        assert inst.timings["work"] >= 0.02
+
+    def test_timer_survives_exception(self):
+        inst = Instrumentation()
+        with pytest.raises(RuntimeError):
+            with inst.timer("broken"):
+                raise RuntimeError("boom")
+        assert inst.timings["broken"] >= 0.0
+
+    def test_merge(self):
+        a = Instrumentation()
+        b = Instrumentation()
+        a.count("x", 2)
+        b.count("x", 3)
+        b.count("y")
+        b.timings["t"] = 1.5
+        a.merge(b)
+        assert a["x"] == 5
+        assert a["y"] == 1
+        assert a.timings["t"] == pytest.approx(1.5)
+
+    def test_reset_and_snapshot(self):
+        inst = Instrumentation()
+        inst.count("x", 2)
+        with inst.timer("t"):
+            pass
+        snap = inst.snapshot()
+        assert snap["count.x"] == 2.0
+        assert "time.t" in snap
+        inst.reset()
+        assert inst.snapshot() == {}

@@ -1,0 +1,144 @@
+"""Tests for the AGS covering program (Appendix C / Theorem 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.urn import TreeletUrn
+from repro.exact.esu import exact_colorful_counts
+from repro.graph.generators import erdos_renyi, star_heavy
+from repro.graphlets.spanning import spanning_tree_shape_counts
+from repro.sampling.setcover import (
+    CoverInstance,
+    coverage_matrix,
+    expected_coverage,
+    greedy_cover,
+    lp_optimal_cover,
+)
+
+
+def real_instance(graph, k, seed):
+    """Build a covering instance from exact quantities."""
+    coloring = ColoringScheme.uniform(graph.num_vertices, k, rng=seed)
+    table = build_table(graph, coloring)
+    urn = TreeletUrn(graph, table, coloring)
+    counts = exact_colorful_counts(graph, k, coloring)
+    sigma = {
+        bits: spanning_tree_shape_counts(bits, k) for bits in counts
+    }
+    totals = {
+        shape: urn.shape_total(shape)
+        for shape in urn.registry.free_shapes
+    }
+    return coverage_matrix(counts, sigma, totals), urn, counts
+
+
+class TestCoverageMatrix:
+    def test_columns_are_probabilities(self):
+        graph = erdos_renyi(20, 45, rng=80)
+        instance, _urn, _counts = real_instance(graph, 4, seed=81)
+        assert np.all(instance.matrix >= 0)
+        assert np.all(instance.matrix <= 1 + 1e-9)
+
+    def test_row_sums_bounded_by_one(self):
+        """Σ_i a_ji ≤ 1: one sample spans exactly one graphlet."""
+        graph = erdos_renyi(20, 45, rng=82)
+        instance, _urn, _counts = real_instance(graph, 4, seed=83)
+        assert np.all(instance.matrix.sum(axis=1) <= 1 + 1e-9)
+
+    def test_row_sums_equal_one_exactly(self):
+        """Every treelet copy spans exactly one induced graphlet, so each
+        row of A sums to exactly 1 when counts are exact."""
+        graph = erdos_renyi(18, 40, rng=84)
+        instance, _urn, _counts = real_instance(graph, 4, seed=85)
+        assert np.allclose(instance.matrix.sum(axis=1), 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SamplingError):
+            coverage_matrix({}, {}, {})
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(SamplingError, match="infeasible"):
+            coverage_matrix(
+                {1: 5.0}, {1: {99: 1}}, {42: 10.0}
+            )
+
+
+class TestSolvers:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        graph = erdos_renyi(20, 45, rng=86)
+        inst, _urn, _counts = real_instance(graph, 4, seed=87)
+        return inst
+
+    def test_lp_feasible(self, instance):
+        x, total = lp_optimal_cover(instance, cover_target=100)
+        coverage = expected_coverage(instance, x)
+        assert np.all(coverage >= 100 - 1e-6)
+        assert total == pytest.approx(x.sum())
+
+    def test_greedy_feasible(self, instance):
+        x, total = greedy_cover(instance, cover_target=100)
+        coverage = expected_coverage(instance, x)
+        assert np.all(coverage >= 100 - 1e-6)
+        assert total == pytest.approx(x.sum())
+
+    def test_greedy_within_log_factor(self, instance):
+        """Theorem 6 / Lemma 2: greedy ≤ O(ln s) × optimal."""
+        _x_opt, optimal = lp_optimal_cover(instance, cover_target=100)
+        _x_greedy, greedy = greedy_cover(instance, cover_target=100)
+        s = instance.num_graphlets
+        assert greedy >= optimal - 1e-6  # LP is a true lower bound
+        assert greedy <= (2 * np.log(2 * s) + 2) * optimal + s
+
+    def test_scaling_in_target(self, instance):
+        """Doubling c̄ roughly doubles both solutions."""
+        _x, opt_100 = lp_optimal_cover(instance, cover_target=100)
+        _x, opt_200 = lp_optimal_cover(instance, cover_target=200)
+        assert opt_200 == pytest.approx(2 * opt_100, rel=1e-6)
+
+    def test_bad_targets(self, instance):
+        with pytest.raises(SamplingError):
+            lp_optimal_cover(instance, 0)
+        with pytest.raises(SamplingError):
+            greedy_cover(instance, -5)
+
+    def test_bad_allocation_shape(self, instance):
+        with pytest.raises(SamplingError):
+            expected_coverage(instance, [1.0])
+
+
+class TestSkewedInstance:
+    def test_greedy_diversifies_on_star_graph(self):
+        """On a star-dominated graph, covering the rare graphlets forces
+        the greedy away from the star shape — the AGS insight."""
+        graph = star_heavy(8, 60, bridge_edges=4, rng=88)
+        instance, urn, counts = real_instance(graph, 4, seed=89)
+        x, _total = greedy_cover(instance, cover_target=50)
+        used_shapes = [
+            shape for shape, calls in zip(instance.shapes, x) if calls > 0
+        ]
+        assert len(used_shapes) >= 2
+
+    def test_uniform_sampling_is_far_from_optimal(self):
+        """The Θ(1/rarity) cost of naive sampling vs the LP optimum."""
+        graph = star_heavy(8, 60, bridge_edges=4, rng=90)
+        instance, urn, counts = real_instance(graph, 4, seed=91)
+        _x, optimal = lp_optimal_cover(instance, cover_target=50)
+
+        # Naive sampling needs cbar / min_i Pr[hit H_i] draws where the
+        # hit probability uses the *global* urn.
+        total_treelets = urn.total_treelets
+        from repro.graphlets.spanning import spanning_tree_count
+
+        worst = min(
+            counts[bits] * spanning_tree_count(bits, 4) / total_treelets
+            for bits in counts
+            if counts[bits] > 0
+        )
+        naive_needed = 50 / worst
+        assert naive_needed > 3 * optimal

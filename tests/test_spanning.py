@@ -1,0 +1,123 @@
+"""Tests for spanning-tree counts (σ_i) and shape tables (σ_ij)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphlets.encoding import adjacency_sets, encode_edges, is_connected_graphlet
+from repro.graphlets.enumerate import (
+    clique_graphlet,
+    cycle_graphlet,
+    enumerate_graphlets,
+    path_graphlet,
+    star_graphlet,
+)
+from repro.graphlets.spanning import (
+    SigmaCache,
+    spanning_tree_count,
+    spanning_tree_shape_counts,
+)
+from repro.treelets.encoding import canonical_free, spanning_tree_shapes
+from repro.treelets.registry import TreeletRegistry
+
+
+class TestKirchhoff:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7])
+    def test_cayley_cliques(self, k):
+        assert spanning_tree_count(clique_graphlet(k), k) == k ** (k - 2)
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_cycles(self, k):
+        assert spanning_tree_count(cycle_graphlet(k), k) == k
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    def test_trees_have_one(self, k):
+        assert spanning_tree_count(path_graphlet(k), k) == 1
+        assert spanning_tree_count(star_graphlet(k), k) == 1
+
+    def test_disconnected_is_zero(self):
+        bits = encode_edges([(0, 1)], 4)
+        assert spanning_tree_count(bits, 4) == 0
+
+    def test_k1(self):
+        assert spanning_tree_count(0, 1) == 1
+
+    def test_complete_bipartite(self):
+        # σ(K_{2,3}) = 2^(3-1) * 3^(2-1) = 12.
+        k23 = encode_edges([(i, j) for i in range(2) for j in range(2, 5)], 5)
+        assert spanning_tree_count(k23, 5) == 12
+
+
+class TestShapeCounts:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_sums_to_kirchhoff_for_all_graphlets(self, k):
+        registry = TreeletRegistry(k)
+        for bits in enumerate_graphlets(k):
+            table = spanning_tree_shape_counts(bits, k, registry)
+            assert sum(table.values()) == spanning_tree_count(bits, k)
+
+    def test_star_has_only_star_shape(self):
+        k = 5
+        table = spanning_tree_shape_counts(star_graphlet(k), k)
+        assert len(table) == 1
+        (shape, count), = table.items()
+        assert count == 1
+        # The single spanning tree is the star itself.
+        from repro.treelets.encoding import encode_children
+
+        star_shape = canonical_free(encode_children([0] * (k - 1)))
+        assert shape == star_shape
+
+    def test_cycle_spans_only_paths(self):
+        k = 6
+        table = spanning_tree_shape_counts(cycle_graphlet(k), k)
+        from repro.treelets.encoding import encode_parent_vector
+
+        path_shape = canonical_free(
+            encode_parent_vector([-1, 0, 1, 2, 3, 4])
+        )
+        assert table == {path_shape: k}
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_matches_independent_brute_force(self, k):
+        """Cross-check the DP against explicit edge-subset enumeration."""
+        for bits in enumerate_graphlets(k):
+            dp_table = spanning_tree_shape_counts(bits, k)
+            brute = spanning_tree_shapes(adjacency_sets(bits, k), k)
+            assert dp_table == brute
+
+    def test_shapes_are_canonical_free(self):
+        k = 5
+        for bits in enumerate_graphlets(k):
+            for shape in spanning_tree_shape_counts(bits, k):
+                assert canonical_free(shape) == shape
+
+
+class TestSigmaCache:
+    def test_memory_round_trip(self):
+        cache = SigmaCache()
+        bits = clique_graphlet(4)
+        table = spanning_tree_shape_counts(bits, 4, cache=cache)
+        assert cache.get(bits, 4) == table
+        assert len(cache) == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        directory = str(tmp_path / "sigma")
+        cache = SigmaCache(directory)
+        bits = cycle_graphlet(5)
+        table = spanning_tree_shape_counts(bits, 5, cache=cache)
+        cache.flush()
+
+        fresh = SigmaCache(directory)
+        assert fresh.get(bits, 5) == table
+
+    def test_flush_without_directory_is_noop(self):
+        cache = SigmaCache()
+        cache.put(1, 3, {0: 1})
+        cache.flush()  # must not raise
+
+    def test_missing_entry(self, tmp_path):
+        cache = SigmaCache(str(tmp_path))
+        assert cache.get(99, 4) is None

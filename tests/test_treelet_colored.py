@@ -1,0 +1,104 @@
+"""Tests for colored treelet keys."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ColorError
+from repro.treelets.colored import (
+    ColoredTreelet,
+    color_mask_of,
+    colored_key,
+    colors_of_mask,
+    split_colored_key,
+    validate_colored,
+)
+from repro.treelets.encoding import SINGLETON, encode_parent_vector, merge
+
+
+class TestColorMasks:
+    def test_pack_unpack(self):
+        mask = color_mask_of([0, 2, 5])
+        assert mask == 0b100101
+        assert colors_of_mask(mask) == [0, 2, 5]
+
+    def test_duplicate_color_rejected(self):
+        with pytest.raises(ColorError):
+            color_mask_of([1, 1])
+
+    def test_negative_color_rejected(self):
+        with pytest.raises(ColorError):
+            color_mask_of([-1])
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ColorError):
+            colors_of_mask(-2)
+
+    @given(st.sets(st.integers(min_value=0, max_value=15), max_size=8))
+    def test_round_trip(self, colors):
+        assert colors_of_mask(color_mask_of(sorted(colors))) == sorted(colors)
+
+
+class TestValidation:
+    def test_colorful_requires_matching_sizes(self):
+        edge = merge(SINGLETON, SINGLETON)
+        validate_colored(edge, 0b11, k=4)
+        with pytest.raises(ColorError):
+            validate_colored(edge, 0b111, k=4)
+
+    def test_mask_within_universe(self):
+        with pytest.raises(ColorError):
+            validate_colored(SINGLETON, 0b10000, k=4)
+
+
+class TestPackedKey:
+    def test_pack_layout(self):
+        edge = merge(SINGLETON, SINGLETON)
+        key = colored_key(edge, 0b0101, k=4)
+        assert key == (edge << 4) | 0b0101
+
+    def test_split_inverse(self):
+        t = encode_parent_vector([-1, 0, 0, 1])
+        key = colored_key(t, 0b1011, k=4)
+        assert split_colored_key(key, 4) == (t, 0b1011)
+
+    def test_mask_overflow_rejected(self):
+        with pytest.raises(ColorError):
+            colored_key(SINGLETON, 0b10000, k=4)
+
+    def test_key_order_matches_tuple_order(self):
+        edge = merge(SINGLETON, SINGLETON)
+        keys = [
+            colored_key(t, m, 4)
+            for t in (SINGLETON, edge)
+            for m in (0b0001, 0b0010, 0b1000)
+        ]
+        tuples = [
+            (t, m)
+            for t in (SINGLETON, edge)
+            for m in (0b0001, 0b0010, 0b1000)
+        ]
+        assert [k for _, k in sorted(zip(tuples, keys))] == sorted(keys)
+
+
+class TestColoredTreelet:
+    def test_frozen_and_hashable(self):
+        a = ColoredTreelet(SINGLETON, 0b1)
+        b = ColoredTreelet(SINGLETON, 0b1)
+        assert a == b
+        assert hash(a) == hash(b)
+        with pytest.raises(Exception):
+            a.treelet = 5  # type: ignore[misc]
+
+    def test_size_and_colors(self):
+        edge = merge(SINGLETON, SINGLETON)
+        colored = ColoredTreelet(edge, 0b0110)
+        assert colored.size == 2
+        assert colored.colors() == [1, 2]
+
+    def test_ordering(self):
+        edge = merge(SINGLETON, SINGLETON)
+        assert ColoredTreelet(SINGLETON, 0b10) < ColoredTreelet(edge, 0b11)
+        assert ColoredTreelet(edge, 0b01) < ColoredTreelet(edge, 0b10)

@@ -1,0 +1,216 @@
+"""Unit and property tests for the succinct treelet encoding (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MergeError, TreeletError
+from repro.treelets.encoding import (
+    SINGLETON,
+    beta,
+    bit_count,
+    can_merge,
+    canonical_free,
+    centroids,
+    children,
+    decomp,
+    degree_sequence,
+    encode_children,
+    encode_parent_vector,
+    getsize,
+    merge,
+    parent_vector,
+    rootings,
+    to_bit_string,
+    tree_edges,
+    treelet_key,
+)
+from repro.treelets.registry import enumerate_rooted_treelets
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def random_parent_vector(draw, max_nodes=9):
+    """A random rooted tree as a topologically ordered parent vector."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    parents = [-1]
+    for node in range(1, n):
+        parents.append(draw(st.integers(min_value=0, max_value=node - 1)))
+    return parents
+
+
+@st.composite
+def random_treelet(draw, max_nodes=9):
+    return encode_parent_vector(draw(random_parent_vector(max_nodes)))
+
+
+# ----------------------------------------------------------------------
+# Basic structure
+# ----------------------------------------------------------------------
+
+class TestBasics:
+    def test_singleton(self):
+        assert getsize(SINGLETON) == 1
+        assert bit_count(SINGLETON) == 0
+        assert to_bit_string(SINGLETON) == ""
+        assert children(SINGLETON) == []
+
+    def test_edge(self):
+        edge = merge(SINGLETON, SINGLETON)
+        assert getsize(edge) == 2
+        assert to_bit_string(edge) == "10"
+
+    def test_negative_rejected(self):
+        with pytest.raises(TreeletError):
+            getsize(-1)
+
+    @given(random_treelet())
+    def test_size_is_one_plus_popcount(self, t):
+        assert getsize(t) == 1 + bin(t).count("1")
+        assert bit_count(t) == 2 * (getsize(t) - 1)
+
+    @given(random_treelet())
+    def test_string_balanced(self, t):
+        text = to_bit_string(t)
+        assert text.count("1") == text.count("0")
+        depth = 0
+        for bit in text:
+            depth += 1 if bit == "1" else -1
+            assert depth >= 0
+        assert depth == 0
+
+
+class TestCanonicality:
+    @given(random_parent_vector())
+    def test_child_order_irrelevant(self, parents):
+        """Permuting sibling subtrees must not change the encoding."""
+        t = encode_parent_vector(parents)
+        # Re-encode from the decoded edge structure rooted the same way:
+        decoded_parents = parent_vector(t)
+        assert encode_parent_vector(decoded_parents) == t
+
+    def test_star_vs_path(self):
+        star = encode_parent_vector([-1, 0, 0, 0])
+        path = encode_parent_vector([-1, 0, 1, 2])
+        assert star != path
+        assert getsize(star) == getsize(path) == 4
+
+    def test_distinct_count_matches_otter(self):
+        levels = enumerate_rooted_treelets(7)
+        assert [len(level) for level in levels] == [1, 1, 2, 4, 9, 20, 48]
+
+    @given(random_treelet())
+    def test_round_trip_via_edges(self, t):
+        edges = tree_edges(t)
+        assert len(edges) == getsize(t) - 1
+        parents = parent_vector(t)
+        assert encode_parent_vector(parents) == t
+
+
+class TestMergeDecomp:
+    def test_decomp_singleton_fails(self):
+        with pytest.raises(TreeletError):
+            decomp(SINGLETON)
+
+    def test_beta_singleton_fails(self):
+        with pytest.raises(TreeletError):
+            beta(SINGLETON)
+
+    @given(random_treelet())
+    def test_decomp_merge_inverse(self, t):
+        if t == SINGLETON:
+            return
+        t_prime, t_second = decomp(t)
+        assert merge(t_prime, t_second) == t
+        assert getsize(t_prime) + getsize(t_second) == getsize(t)
+
+    @given(random_treelet(max_nodes=6), random_treelet(max_nodes=6))
+    def test_merge_checked(self, t1, t2):
+        if can_merge(t1, t2):
+            merged = merge(t1, t2)
+            back_prime, back_second = decomp(merged)
+            assert back_second == t2
+            assert back_prime == t1
+        else:
+            with pytest.raises(MergeError):
+                merge(t1, t2)
+
+    def test_merge_order_check(self):
+        edge = merge(SINGLETON, SINGLETON)  # 2 nodes
+        path3 = merge(edge, SINGLETON)  # path rooted at end? no: star/path on 3
+        # Attaching a 3-node subtree onto a tree whose first child is a
+        # single node violates the canonical order.
+        with pytest.raises(MergeError):
+            merge(path3, path3)
+
+    @given(random_treelet())
+    def test_beta_counts_leading_children(self, t):
+        if t == SINGLETON:
+            return
+        kids = children(t)
+        first = kids[0]
+        expected = 0
+        for child in kids:
+            if child == first:
+                expected += 1
+            else:
+                break
+        assert beta(t) == expected
+
+    def test_beta_star(self):
+        star5 = encode_children([SINGLETON] * 4)
+        assert beta(star5) == 4
+
+    def test_beta_mixed(self):
+        edge = merge(SINGLETON, SINGLETON)
+        mixed = encode_children([SINGLETON, SINGLETON, edge])
+        assert beta(mixed) == 2
+
+
+class TestRerooting:
+    @given(random_treelet(max_nodes=8))
+    def test_rootings_count(self, t):
+        assert len(rootings(t)) == getsize(t)
+
+    @given(random_treelet(max_nodes=8))
+    def test_rootings_preserve_free_shape(self, t):
+        shapes = {canonical_free(r) for r in rootings(t)}
+        assert shapes == {canonical_free(t)}
+
+    @given(random_treelet(max_nodes=8))
+    def test_canonical_free_idempotent(self, t):
+        shape = canonical_free(t)
+        assert canonical_free(shape) == shape
+
+    def test_path_free_form(self):
+        end_rooted = encode_parent_vector([-1, 0, 1, 2, 3])
+        center_rooted = encode_parent_vector([-1, 0, 1, 0, 3])
+        assert canonical_free(end_rooted) == canonical_free(center_rooted)
+
+    def test_centroids_path_even(self):
+        path4 = encode_parent_vector([-1, 0, 1, 2])
+        assert len(centroids(path4)) == 2
+
+    def test_centroids_star(self):
+        star = encode_parent_vector([-1, 0, 0, 0, 0])
+        middles = centroids(star)
+        assert len(middles) == 1
+        # The centroid of a star is its center (degree 4 here).
+        degrees = degree_sequence(star)
+        assert degrees == [1, 1, 1, 1, 4]
+
+
+class TestOrder:
+    @given(random_treelet(), random_treelet())
+    def test_key_total_order(self, a, b):
+        ka, kb = treelet_key(a), treelet_key(b)
+        assert (ka == kb) == (a == b)
+
+    def test_smaller_size_first(self):
+        edge = merge(SINGLETON, SINGLETON)
+        assert treelet_key(SINGLETON) < treelet_key(edge)

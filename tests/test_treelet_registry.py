@@ -1,0 +1,128 @@
+"""Tests for the treelet registry (DP scaffolding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TreeletError
+from repro.treelets.encoding import (
+    beta,
+    canonical_free,
+    decomp,
+    getsize,
+    merge,
+    treelet_key,
+)
+from repro.treelets.registry import TreeletRegistry, enumerate_rooted_treelets
+from repro.util.combinatorics import free_tree_count, rooted_tree_count
+
+
+class TestEnumeration:
+    def test_levels_match_otter(self):
+        levels = enumerate_rooted_treelets(8)
+        for h, level in enumerate(levels, start=1):
+            assert len(level) == rooted_tree_count(h)
+
+    def test_levels_sorted_and_distinct(self):
+        for level in enumerate_rooted_treelets(6):
+            keys = [treelet_key(t) for t in level]
+            assert keys == sorted(keys)
+            assert len(set(level)) == len(level)
+
+    def test_all_levels_have_correct_sizes(self):
+        for h, level in enumerate(enumerate_rooted_treelets(6), start=1):
+            assert all(getsize(t) == h for t in level)
+
+    def test_bad_max_size(self):
+        with pytest.raises(TreeletError):
+            enumerate_rooted_treelets(0)
+
+
+class TestRegistry:
+    @pytest.fixture(scope="class", params=[3, 5, 6])
+    def registry(self, request):
+        return TreeletRegistry(request.param)
+
+    def test_k_bounds(self):
+        with pytest.raises(TreeletError):
+            TreeletRegistry(1)
+        with pytest.raises(TreeletError):
+            TreeletRegistry(17)
+
+    def test_total_treelets(self, registry):
+        expected = sum(
+            rooted_tree_count(h) for h in range(1, registry.k + 1)
+        )
+        assert registry.total_treelets == expected
+
+    def test_decompositions_consistent(self, registry):
+        for h in range(2, registry.k + 1):
+            for t in registry.treelets_of_size(h):
+                t_prime, t_second, beta_t = registry.decomposition(t)
+                assert merge(t_prime, t_second) == t
+                assert decomp(t) == (t_prime, t_second)
+                assert beta(t) == beta_t
+
+    def test_decomposition_unknown(self, registry):
+        with pytest.raises(TreeletError):
+            registry.decomposition(10**9)
+
+    def test_singleton_has_no_decomposition(self, registry):
+        with pytest.raises(TreeletError):
+            registry.decomposition(0)
+
+    def test_index_dense(self, registry):
+        indices = [registry.index_of(t) for t in registry.all_treelets()]
+        assert indices == list(range(registry.total_treelets))
+
+    def test_contains(self, registry):
+        for t in registry.all_treelets():
+            assert registry.contains(t)
+        assert not registry.contains(10**9)
+
+    def test_size_bounds(self, registry):
+        with pytest.raises(TreeletError):
+            registry.treelets_of_size(0)
+        with pytest.raises(TreeletError):
+            registry.treelets_of_size(registry.k + 1)
+
+
+class TestFreeShapes:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7])
+    def test_shape_count_matches_free_trees(self, k):
+        registry = TreeletRegistry(k)
+        assert registry.num_shapes == free_tree_count(k)
+
+    def test_rooted_variants_partition_level(self):
+        registry = TreeletRegistry(6)
+        level = registry.treelets_of_size(6)
+        total = sum(
+            len(registry.rooted_variants(shape))
+            for shape in registry.free_shapes
+        )
+        assert total == len(level)
+
+    def test_shape_of_rooted_consistent(self):
+        registry = TreeletRegistry(5)
+        for t in registry.treelets_of_size(5):
+            shape = registry.shape_of_rooted[t]
+            assert canonical_free(t) == shape
+            assert t in registry.rooted_variants(shape)
+
+    def test_shape_index(self):
+        registry = TreeletRegistry(5)
+        for i, shape in enumerate(registry.free_shapes):
+            assert registry.shape_index[shape] == i
+
+    def test_unknown_shape(self):
+        registry = TreeletRegistry(4)
+        with pytest.raises(TreeletError):
+            registry.rooted_variants(12345)
+
+    def test_distinct_rootings_star(self):
+        registry = TreeletRegistry(5)
+        # The 5-star has 2 orbit classes: center and leaves.
+        from repro.treelets.encoding import encode_children
+
+        star = encode_children([0, 0, 0, 0])
+        assert registry.distinct_rootings(star) == 2
