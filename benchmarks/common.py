@@ -14,6 +14,7 @@ Every ``bench_*.py`` file reproduces one table or figure from the paper
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 from typing import Dict, Optional, Tuple
@@ -46,6 +47,28 @@ def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(name: str, payload: dict, also_repo_root: bool = False) -> str:
+    """Persist a machine-readable benchmark result.
+
+    Writes ``benchmarks/results/<name>.json``; with ``also_repo_root`` the
+    same document additionally lands at the repository root (tracked
+    trajectory files such as ``BENCH_buildup.json``).  Returns the results
+    path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+    if also_repo_root:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        with open(os.path.join(root, f"{name}.json"), "w") as handle:
+            handle.write(text)
+    print(f"\n===== {name}.json =====")
+    print(text)
+    return path
 
 
 @lru_cache(maxsize=None)

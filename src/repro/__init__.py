@@ -35,13 +35,16 @@ from repro.errors import (
     TableError,
     TreeletError,
 )
+from repro.engine import EnsembleResult, PipelineEngine
 from repro.motivo import MotivoConfig, MotivoCounter
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MotivoConfig",
     "MotivoCounter",
+    "PipelineEngine",
+    "EnsembleResult",
     "ReproError",
     "GraphError",
     "GraphletError",

@@ -60,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     count.add_argument("--seed", type=int, default=None, help="master seed")
     count.add_argument(
+        "--colorings", type=int, default=1,
+        help="average over this many independent colorings via the "
+             "ensemble engine (paper: 20; default 1)",
+    )
+    count.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the coloring ensemble (default serial)",
+    )
+    count.add_argument(
+        "--kernel", choices=["batched", "legacy"], default="batched",
+        help="build-up kernel (legacy = per-key correctness oracle)",
+    )
+    count.add_argument(
         "--biased-lambda", type=float, default=None,
         help="biased-coloring λ (§3.4); omit for uniform coloring",
     )
@@ -157,30 +170,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
         zero_rooting=not args.no_zero_rooting,
         biased_lambda=args.biased_lambda,
         spill_dir=args.spill_dir,
+        kernel=args.kernel,
     )
-    counter = MotivoCounter(graph, config)
-    start = time.perf_counter()
-    counter.build()
-    build_seconds = time.perf_counter() - start
-    print(
-        f"build-up: n={graph.num_vertices} m={graph.num_edges} k={args.k} "
-        f"in {build_seconds:.2f}s"
-    )
-    start = time.perf_counter()
-    if args.ags:
-        result = counter.sample_ags(args.samples, args.cover_threshold)
-        estimates = result.estimates
-        print(
-            f"AGS: {args.samples} samples, {len(result.covered)} covered, "
-            f"{result.switches} shape switches, "
-            f"{time.perf_counter() - start:.2f}s"
-        )
+    if args.colorings > 1:
+        estimates = _run_ensemble(graph, config, args)
     else:
-        estimates = counter.sample_naive(args.samples)
-        print(
-            f"naive sampling: {args.samples} samples in "
-            f"{time.perf_counter() - start:.2f}s"
-        )
+        estimates = _run_single(graph, config, args)
     print(
         f"distinct graphlets observed: {estimates.distinct_graphlets()}; "
         f"estimated total copies: {estimates.total:.3e}"
@@ -199,6 +194,56 @@ def _cmd_count(args: argparse.Namespace) -> int:
             handle.write(estimates.to_json())
         print(f"estimates written to {args.output}")
     return 0
+
+
+def _run_single(graph, config, args):
+    counter = MotivoCounter(graph, config)
+    start = time.perf_counter()
+    counter.build()
+    build_seconds = time.perf_counter() - start
+    print(
+        f"build-up: n={graph.num_vertices} m={graph.num_edges} k={args.k} "
+        f"kernel={config.kernel} in {build_seconds:.2f}s"
+    )
+    start = time.perf_counter()
+    if args.ags:
+        result = counter.sample_ags(args.samples, args.cover_threshold)
+        estimates = result.estimates
+        print(
+            f"AGS: {args.samples} samples, {len(result.covered)} covered, "
+            f"{result.switches} shape switches, "
+            f"{time.perf_counter() - start:.2f}s"
+        )
+    else:
+        estimates = counter.sample_naive(args.samples)
+        print(
+            f"naive sampling: {args.samples} samples in "
+            f"{time.perf_counter() - start:.2f}s"
+        )
+    return estimates
+
+
+def _run_ensemble(graph, config, args):
+    from repro.engine import PipelineEngine
+
+    engine = PipelineEngine(
+        graph, config, colorings=args.colorings, jobs=args.jobs
+    )
+    start = time.perf_counter()
+    if args.ags:
+        result = engine.run_ags(args.samples, args.cover_threshold)
+    else:
+        result = engine.run_naive(args.samples)
+    seconds = time.perf_counter() - start
+    inst = result.instrumentation
+    print(
+        f"ensemble: n={graph.num_vertices} m={graph.num_edges} k={args.k} "
+        f"kernel={config.kernel}: {result.colorings} colorings x "
+        f"{args.samples} samples on {args.jobs} job(s) in {seconds:.2f}s "
+        f"({result.empty_runs} empty, "
+        f"{inst.timings['buildup']:.2f}s total build)"
+    )
+    return result.estimates
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:

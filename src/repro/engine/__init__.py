@@ -1,0 +1,15 @@
+"""Ensemble orchestration: many colorings, one answer.
+
+The paper's variance reduction (Theorems 2–3) and its ground-truth
+fallback both average the pipeline over several independent colorings
+("we averaged the counts given by motivo over 20 runs").
+:class:`~repro.engine.pipeline.PipelineEngine` runs that ensemble —
+serially or across a process pool — with deterministic per-coloring child
+seeds and merged :class:`~repro.util.instrument.Instrumentation`, so the
+result is bit-reproducible for a fixed master seed regardless of the
+worker count.
+"""
+
+from repro.engine.pipeline import EnsembleResult, PipelineEngine, derive_child_seeds
+
+__all__ = ["PipelineEngine", "EnsembleResult", "derive_child_seeds"]

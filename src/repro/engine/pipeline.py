@@ -1,0 +1,292 @@
+"""The multi-coloring ensemble orchestrator.
+
+One color-coding run is an unbiased but noisy estimator; the paper runs
+the pipeline under several independent colorings and averages (§5:
+"we averaged the counts given by motivo over 20 runs", Theorems 2–3 for
+the exponential deviation shrinkage).  :class:`PipelineEngine` owns that
+outer loop:
+
+* **Deterministic fan-out.**  Child seeds derive from the master seed
+  alone (:func:`derive_child_seeds`), and per-run results are merged in
+  coloring order — so a fixed seed gives bit-identical estimates whether
+  the ensemble runs serially or on a process pool, and whatever ``jobs``
+  is.
+* **Executor choice.**  ``jobs=1`` runs in-process; ``jobs>1`` uses a
+  ``ProcessPoolExecutor`` (each coloring is an independent build + sample,
+  the ideal process-parallel unit).  If the platform cannot spawn workers
+  the engine degrades to serial execution rather than failing.
+* **Merged instrumentation.**  Every run's counters and timers fold into
+  one :class:`~repro.util.instrument.Instrumentation` via its snapshot
+  transport, so ``merge_ops``/``spmm_ops``/``buildup`` totals cover the
+  whole ensemble.
+
+Consumed by :meth:`repro.motivo.MotivoCounter.averaged_naive`, the CLI
+(``motivo-py count --colorings N --jobs J``), and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SamplingError
+from repro.graph.graph import Graph
+from repro.sampling.estimates import GraphletEstimates
+from repro.util.instrument import Instrumentation
+from repro.util.rng import spawn_rng
+
+__all__ = ["PipelineEngine", "EnsembleResult", "derive_child_seeds"]
+
+
+def derive_child_seeds(seed: Optional[int], colorings: int) -> List[int]:
+    """Deterministic per-coloring seeds from one master seed.
+
+    Built on :func:`repro.util.rng.spawn_rng` — the same derivation
+    ``averaged_naive`` has always used on a fresh counter — so ensemble
+    results are stable across the refactor by construction.
+    ``seed=None`` draws fresh entropy.
+    """
+    if colorings < 1:
+        raise SamplingError("an ensemble needs at least one coloring")
+    return [
+        int(stream.integers(2**63 - 1))
+        for stream in spawn_rng(seed, colorings)
+    ]
+
+
+@dataclass
+class EnsembleResult:
+    """Merged output of one ensemble run.
+
+    Attributes
+    ----------
+    estimates:
+        Counts averaged over every requested coloring (a run whose urn
+        came up empty contributes zero — the estimator stays unbiased).
+    instrumentation:
+        Counters/timers summed over all runs.
+    seeds:
+        The child seed each coloring ran under, in merge order.
+    empty_runs:
+        How many colorings produced an empty urn.
+    """
+
+    estimates: GraphletEstimates
+    instrumentation: Instrumentation
+    seeds: List[int] = field(default_factory=list)
+    empty_runs: int = 0
+
+    @property
+    def colorings(self) -> int:
+        """Number of colorings the ensemble averaged over."""
+        return len(self.seeds)
+
+
+def _execute_run(
+    graph: Graph,
+    config,
+    seed: int,
+    mode: str,
+    samples: int,
+    cover_threshold: int,
+) -> Tuple[Optional[dict], "dict[str, float]"]:
+    """One ensemble member: build under a child seed, sample, report.
+
+    Returns the estimates as a plain dict plus an instrumentation
+    snapshot (both cheap to ship between processes); ``None`` estimates
+    flag an empty urn.  A configured ``spill_dir`` is namespaced per
+    coloring (by child seed, so it stays deterministic) — concurrent
+    workers must not flush layers into the same files.
+    """
+    from repro.motivo import MotivoCounter
+
+    config = replace(config, seed=seed)
+    if config.spill_dir is not None:
+        config = replace(
+            config,
+            spill_dir=os.path.join(config.spill_dir, f"coloring-{seed}"),
+        )
+    counter = MotivoCounter(graph, config)
+    try:
+        counter.build()
+    except SamplingError:
+        return None, counter.instrumentation.snapshot()
+    if mode == "ags":
+        estimates = counter.sample_ags(samples, cover_threshold).estimates
+    else:
+        estimates = counter.sample_naive(samples)
+    payload_out = {
+        "counts": estimates.counts,
+        "hits": estimates.hits,
+    }
+    return payload_out, counter.instrumentation.snapshot()
+
+
+#: Per-worker shared state: the graph and base config are shipped once
+#: via the pool initializer instead of once per coloring (a large graph
+#: would otherwise be pickled into every task).
+_WORKER_STATE: "dict[str, object]" = {}
+
+
+def _init_worker(graph: Graph, config) -> None:
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["config"] = config
+
+
+def _run_task(task: Tuple[int, str, int, int]):
+    seed, mode, samples, cover_threshold = task
+    return _execute_run(
+        _WORKER_STATE["graph"], _WORKER_STATE["config"],
+        seed, mode, samples, cover_threshold,
+    )
+
+
+class PipelineEngine:
+    """Orchestrates ``colorings`` independent pipeline runs.
+
+    Parameters
+    ----------
+    graph:
+        Host graph, shared by every run.
+    config:
+        Base :class:`~repro.motivo.MotivoConfig`; each run gets a copy
+        with its own child seed.
+    colorings:
+        Ensemble size (the paper's 20).
+    jobs:
+        Worker processes; 1 means in-process serial execution.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config=None,
+        colorings: int = 1,
+        jobs: int = 1,
+    ):
+        from repro.motivo import MotivoConfig
+
+        if colorings < 1:
+            raise SamplingError("an ensemble needs at least one coloring")
+        if jobs < 1:
+            raise SamplingError("jobs must be at least 1")
+        self.graph = graph
+        self.config = config or MotivoConfig()
+        self.colorings = colorings
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def run_naive(
+        self,
+        samples_per_run: int,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> EnsembleResult:
+        """Ensemble of naive-sampling runs, averaged."""
+        return self._run("naive", samples_per_run, 0, seeds)
+
+    def run_ags(
+        self,
+        budget_per_run: int,
+        cover_threshold: int = 300,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> EnsembleResult:
+        """Ensemble of AGS runs, averaged."""
+        return self._run("ags", budget_per_run, cover_threshold, seeds)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        mode: str,
+        samples: int,
+        cover_threshold: int,
+        seeds: Optional[Sequence[int]],
+    ) -> EnsembleResult:
+        if seeds is None:
+            seeds = derive_child_seeds(self.config.seed, self.colorings)
+        else:
+            seeds = [int(seed) for seed in seeds]
+            if len(seeds) != self.colorings:
+                raise SamplingError(
+                    f"got {len(seeds)} seeds for {self.colorings} colorings"
+                )
+        tasks = [
+            (seed, mode, samples, cover_threshold) for seed in seeds
+        ]
+        instrumentation = Instrumentation()
+        with instrumentation.timer("ensemble"):
+            outcomes = self._execute(tasks)
+        # Merge strictly in coloring order: determinism does not depend on
+        # worker scheduling.
+        runs = len(seeds)
+        merged: Dict[int, float] = {}
+        merged_hits: Dict[int, int] = {}
+        empty_runs = 0
+        for estimates, snapshot in outcomes:
+            instrumentation.merge(Instrumentation.from_snapshot(snapshot))
+            if estimates is None:
+                empty_runs += 1
+                continue
+            for bits, value in estimates["counts"].items():
+                merged[bits] = merged.get(bits, 0.0) + value / runs
+            for bits, hit_count in estimates["hits"].items():
+                merged_hits[bits] = merged_hits.get(bits, 0) + hit_count
+        instrumentation.count("ensemble_runs", runs)
+        instrumentation.count("ensemble_empty_runs", empty_runs)
+        result = GraphletEstimates(
+            k=self.config.k,
+            counts=merged,
+            samples=runs * samples,
+            hits=merged_hits,
+            method=f"{mode}-averaged",
+        )
+        return EnsembleResult(
+            estimates=result,
+            instrumentation=instrumentation,
+            seeds=list(seeds),
+            empty_runs=empty_runs,
+        )
+
+    def _execute(self, tasks) -> "list":
+        def serially():
+            return [
+                _execute_run(self.graph, self.config, *task)
+                for task in tasks
+            ]
+
+        if self.jobs == 1 or len(tasks) == 1:
+            return serially()
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+        except ImportError:  # pragma: no cover - stdlib always has it
+            return serially()
+        workers = min(self.jobs, len(tasks))
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.graph, self.config),
+            )
+        except (OSError, PermissionError):
+            # The platform refuses to create worker processes at all.
+            return serially()
+        try:
+            with pool:
+                return list(pool.map(_run_task, tasks))
+        except (BrokenProcessPool, OSError, PermissionError):
+            # Worker processes spawn lazily inside map, so spawn failure
+            # on a restricted platform surfaces here — as
+            # BrokenProcessPool or as the raw OSError from fork/spawn.
+            # Those types can also be a *worker's* genuine error
+            # re-raised (e.g. an unwritable spill dir); the serial rerun
+            # then reproduces it with a clean traceback, trading
+            # duplicated work for never crashing on a platform that
+            # simply cannot fork.  Other exception types propagate.
+            return serially()

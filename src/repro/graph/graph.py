@@ -27,7 +27,7 @@ class Graph:
     during construction; isolated vertices are allowed (pass ``n``).
     """
 
-    __slots__ = ("_indptr", "_indices", "_n", "_m", "_csr_cache")
+    __slots__ = ("_indptr", "_indices", "_n", "_m", "_csr_cache", "_edge_keys")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
         self._indptr = indptr
@@ -35,6 +35,7 @@ class Graph:
         self._n = indptr.shape[0] - 1
         self._m = indices.shape[0] // 2
         self._csr_cache: Optional[sparse.csr_matrix] = None
+        self._edge_keys: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -157,6 +158,17 @@ class Graph:
                 if u < v:
                     yield (u, int(v))
 
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array, ``u < v``, sorted.
+
+        The vectorized counterpart of :meth:`edges` for bulk consumers
+        (samplers, exporters): one pass over the CSR arrays instead of a
+        Python loop per edge.
+        """
+        heads = np.repeat(np.arange(self._n, dtype=np.int64), self.degrees())
+        forward = heads < self._indices
+        return np.column_stack([heads[forward], self._indices[forward]])
+
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self._n:
             raise GraphError(f"vertex {v} outside [0, {self._n})")
@@ -178,20 +190,44 @@ class Graph:
             )
         return self._csr_cache
 
+    def _sorted_edge_keys(self) -> np.ndarray:
+        """Directed edges packed as ``u * n + v``, globally sorted.
+
+        The CSR layout (heads ascending, neighbor lists sorted) makes the
+        packed array sorted for free, so membership tests for any batch of
+        pairs are one ``np.searchsorted`` call.  Built lazily, cached.
+        """
+        if self._edge_keys is None:
+            heads = np.repeat(
+                np.arange(self._n, dtype=np.int64), self.degrees()
+            )
+            self._edge_keys = heads * np.int64(self._n) + self._indices
+        return self._edge_keys
+
     def induced_adjacency(self, vertices: Sequence[int]) -> np.ndarray:
         """Dense boolean adjacency of the induced subgraph on ``vertices``.
 
         The sampling phase calls this to turn a sampled treelet copy into
-        the induced graphlet; cost is O(k^2 log d).
+        the induced graphlet — it is the per-sample hot path.  All
+        ``k(k-1)/2`` pair queries run as one batched ``np.searchsorted``
+        against the packed sorted edge keys (cost O(k² log m), no Python
+        loop over pairs).
         """
-        k = len(vertices)
+        verts = np.asarray(vertices, dtype=np.int64)
+        k = verts.shape[0]
+        if k and (verts.min() < 0 or verts.max() >= self._n):
+            raise GraphError(f"vertices outside [0, {self._n})")
         out = np.zeros((k, k), dtype=bool)
-        for i in range(k):
-            row = self.neighbors(vertices[i])
-            for j in range(i + 1, k):
-                position = np.searchsorted(row, vertices[j])
-                if position < row.size and row[position] == vertices[j]:
-                    out[i, j] = out[j, i] = True
+        if k < 2 or self._indices.size == 0:
+            return out
+        rows, cols = np.triu_indices(k, 1)
+        keys = verts[rows] * np.int64(self._n) + verts[cols]
+        edge_keys = self._sorted_edge_keys()
+        positions = np.searchsorted(edge_keys, keys)
+        positions[positions >= edge_keys.size] = edge_keys.size - 1
+        present = edge_keys[positions] == keys
+        out[rows[present], cols[present]] = True
+        out[cols[present], rows[present]] = True
         return out
 
     def subgraph(self, vertices: Sequence[int]) -> "Graph":
@@ -238,6 +274,19 @@ class Graph:
     # ------------------------------------------------------------------
     # Dunder conveniences
     # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle only the CSR arrays — derived caches rebuild lazily.
+
+        Keeps cross-process shipping (the ensemble engine's workers) at
+        the graph's own size instead of up to ~3x with the cached sparse
+        matrix and edge keys.
+        """
+        return (self._indptr, self._indices)
+
+    def __setstate__(self, state) -> None:
+        indptr, indices = state
+        self.__init__(indptr, indices)
 
     def __repr__(self) -> str:
         return f"Graph(n={self._n}, m={self._m})"

@@ -1,11 +1,18 @@
 """High-level facade: the ``motivo`` pipeline in one object.
 
 :class:`MotivoCounter` wires the full paper pipeline together — color the
-graph, run the build-up phase, wrap the table in an urn, sample (naive or
-AGS), convert to count estimates — behind a configuration dataclass.  It
-also supports averaging over several independent colorings, which is how
-the paper both reduces variance and produces its non-exact ground truths
-("we averaged the counts given by motivo over 20 runs").
+graph, run the build-up phase (the batched one-SpMM-per-layer kernel by
+default; ``kernel="legacy"`` keeps the per-key oracle), wrap the table in
+an urn, sample (naive or AGS), convert to count estimates — behind a
+configuration dataclass.  Layer storage follows the config: in-memory by
+default, greedily flushed to ``spill_dir`` and memory-mapped back when
+set (§3.1/§3.3).
+
+Multi-coloring averaging — how the paper both reduces variance and
+produces its non-exact ground truths ("we averaged the counts given by
+motivo over 20 runs") — is delegated to
+:class:`~repro.engine.pipeline.PipelineEngine`, which runs the ensemble
+serially or across a process pool with deterministic per-coloring seeds.
 
 Quickstart::
 
@@ -21,8 +28,8 @@ Quickstart::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import BuildError, SamplingError
 from repro.colorcoding.buildup import build_table
@@ -64,6 +71,10 @@ class MotivoConfig:
         (§3.1/§3.3).
     sigma_cache_dir:
         When set, σ_ij tables are cached on disk (§3.3).
+    kernel:
+        Build-up kernel: ``"batched"`` (one SpMM per layer, the default)
+        or ``"legacy"`` (per-key loop, the correctness oracle).  Both
+        produce bit-identical tables.
     """
 
     k: int = 5
@@ -74,6 +85,7 @@ class MotivoConfig:
     buffer_size: int = 100
     spill_dir: Optional[str] = None
     sigma_cache_dir: Optional[str] = None
+    kernel: str = "batched"
 
 
 class MotivoCounter:
@@ -114,6 +126,7 @@ class MotivoCounter:
             zero_rooting=config.zero_rooting,
             spill=spill,
             instrumentation=self.instrumentation,
+            kernel=config.kernel,
         )
         self.urn = TreeletUrn(
             self.graph,
@@ -160,43 +173,32 @@ class MotivoCounter:
     # ------------------------------------------------------------------
 
     def averaged_naive(
-        self, runs: int, samples_per_run: int
+        self, runs: int, samples_per_run: int, jobs: int = 1
     ) -> GraphletEstimates:
         """Average naive estimates over ``runs`` independent colorings.
 
         Theorems 2–3: averaging over γ colorings shrinks the deviation
         probabilities exponentially in γ.  This is also how the paper
         builds reference counts where exact counting is infeasible.
+
+        Runs through :class:`~repro.engine.pipeline.PipelineEngine`;
+        ``jobs > 1`` fans the colorings out over a process pool without
+        changing the result (a run whose coloring leaves the urn empty
+        contributes 0 to every graphlet, keeping the estimator unbiased).
         """
         if runs < 1:
             raise SamplingError("need at least one run")
-        streams = spawn_rng(self._rng, runs)
-        merged: Dict[int, float] = {}
-        merged_hits: Dict[int, int] = {}
-        for stream in streams:
-            counter = MotivoCounter(self.graph, self._per_run_config(stream))
-            try:
-                counter.build()
-            except SamplingError:
-                # A coloring can leave the urn empty (e.g. a color missing
-                # entirely on a small graph).  The correct per-run estimate
-                # is then 0 for every graphlet — averaging it in keeps the
-                # estimator unbiased, so the run simply contributes nothing.
-                continue
-            estimates = counter.sample_naive(samples_per_run)
-            for bits, value in estimates.counts.items():
-                merged[bits] = merged.get(bits, 0.0) + value / runs
-            for bits, hit_count in estimates.hits.items():
-                merged_hits[bits] = merged_hits.get(bits, 0) + hit_count
-        return GraphletEstimates(
-            k=self.config.k,
-            counts=merged,
-            samples=runs * samples_per_run,
-            hits=merged_hits,
-            method="naive-averaged",
+        from repro.engine import PipelineEngine
+
+        # Seeds derive from this counter's stream (not the master seed
+        # directly) so repeated calls see fresh independent colorings.
+        seeds = [
+            int(stream.integers(2**63 - 1))
+            for stream in spawn_rng(self._rng, runs)
+        ]
+        engine = PipelineEngine(
+            self.graph, self.config, colorings=runs, jobs=jobs
         )
-
-    def _per_run_config(self, stream) -> MotivoConfig:
-        from dataclasses import replace
-
-        return replace(self.config, seed=int(stream.integers(2**63 - 1)))
+        result = engine.run_naive(samples_per_run, seeds=seeds)
+        self.instrumentation.merge(result.instrumentation)
+        return result.estimates

@@ -1,0 +1,258 @@
+"""Unified layer storage backends for the build-up phase.
+
+The build-up phase finishes one :class:`~repro.table.count_table.Layer` at
+a time; what happens to a finished layer — keep it resident, greedily flush
+it to disk and reopen it memory-mapped (§3.1/§3.3), or split it into
+vertex-range shards — is a storage policy, not an algorithm concern.
+:class:`LayerStore` is that policy's interface, so
+:func:`~repro.colorcoding.buildup.build_table` no longer special-cases the
+spill path:
+
+:class:`InMemoryStore`
+    The default: layers live as plain arrays for the table's lifetime.
+:class:`SpillLayerStore`
+    Wraps a :class:`~repro.table.flush.SpillStore`: greedy flush on
+    install, a sorting second I/O pass plus memory-mapped reopen on
+    :meth:`~LayerStore.finalize` — the paper's external-memory lifecycle.
+:class:`ShardedStore`
+    Splits every layer's count matrix into contiguous vertex-range shards
+    and (optionally) persists each shard to its own file.  The shard files
+    are the unit of distribution for multi-node builds: a worker that owns
+    vertex range ``[lo, hi)`` only ever needs the shards covering that
+    range.  Locally the full layer stays resident so the table remains a
+    drop-in :class:`~repro.table.count_table.CountTable`.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TableError
+from repro.table.count_table import CountTable, Layer
+from repro.table.flush import SpillStore
+from repro.util.instrument import Instrumentation
+
+__all__ = [
+    "LayerStore",
+    "InMemoryStore",
+    "SpillLayerStore",
+    "ShardedStore",
+    "resolve_store",
+]
+
+Key = Tuple[int, int]
+
+
+class LayerStore(ABC):
+    """Storage policy for finished build-up layers."""
+
+    #: Whether installed layers stay resident in process memory.  The
+    #: batched kernel caches per-layer neighbor-sum matrices across levels
+    #: only for resident stores; non-resident (spilling) stores keep peak
+    #: memory one layer deep instead.
+    resident: bool = True
+
+    @abstractmethod
+    def install(
+        self,
+        table: CountTable,
+        size: int,
+        keys: Sequence[Key],
+        counts: np.ndarray,
+    ) -> Layer:
+        """Persist a finished layer and make it resident in ``table``.
+
+        ``counts`` is the ``len(keys) × n`` matrix in arrival order; the
+        :class:`~repro.table.count_table.Layer` constructor key-sorts it.
+        Returns the installed layer.
+        """
+
+    def finalize(
+        self,
+        table: CountTable,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        """Post-build pass (sorting, reopening); default is a no-op."""
+
+    def bytes_on_disk(self) -> int:
+        """Bytes this store persisted outside process memory."""
+        return 0
+
+
+class InMemoryStore(LayerStore):
+    """Keep every layer resident in process memory (the default)."""
+
+    def install(
+        self,
+        table: CountTable,
+        size: int,
+        keys: Sequence[Key],
+        counts: np.ndarray,
+    ) -> Layer:
+        layer = Layer(size, list(keys), counts)
+        table.set_layer(layer)
+        return layer
+
+
+class SpillLayerStore(LayerStore):
+    """Greedy flushing through a :class:`~repro.table.flush.SpillStore`.
+
+    Install writes the layer to disk in arrival order and reopens it
+    memory-mapped, releasing the in-memory buffers; :meth:`finalize` runs
+    the sorting second I/O pass and swaps every resident layer for its
+    sorted memory-mapped version.
+    """
+
+    resident = False
+
+    def __init__(self, spill: SpillStore):
+        self.spill = spill
+
+    def install(
+        self,
+        table: CountTable,
+        size: int,
+        keys: Sequence[Key],
+        counts: np.ndarray,
+    ) -> Layer:
+        self.spill.spill_layer(size, list(keys), counts)
+        layer = self.spill.load_layer(size, mmap=True)
+        table.set_layer(layer)
+        return layer
+
+    def finalize(
+        self,
+        table: CountTable,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        instrumentation = instrumentation or Instrumentation()
+        with instrumentation.timer("sort_pass"):
+            self.spill.sort_pass()
+        for size in self.spill.spilled_sizes():
+            table.drop_layer(size)
+            table.set_layer(self.spill.load_layer(size, mmap=True))
+
+    def bytes_on_disk(self) -> int:
+        return self.spill.bytes_on_disk()
+
+
+class ShardedStore(LayerStore):
+    """Layer storage sharded by contiguous vertex ranges.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of vertex-range shards per layer (ranges are balanced to
+        within one vertex).
+    directory:
+        When given, every shard is persisted to
+        ``layer_<size>.shard<i>.npy`` (plus one shared ``.keys.npy`` per
+        layer) and can be reopened individually — memory-mapped — with
+        :meth:`load_shard`.  When omitted the shards exist only as views.
+    """
+
+    def __init__(self, num_shards: int, directory: Optional[str] = None):
+        if num_shards < 1:
+            raise TableError("a sharded store needs at least one shard")
+        self.num_shards = num_shards
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        #: size → (keys, shard boundary offsets over the vertex axis)
+        self._layers: Dict[int, Tuple[List[Key], np.ndarray]] = {}
+
+    def shard_bounds(self, num_vertices: int) -> np.ndarray:
+        """Vertex-range boundaries: shard ``i`` owns ``[b[i], b[i+1])``."""
+        return np.linspace(0, num_vertices, self.num_shards + 1).astype(
+            np.int64
+        )
+
+    def install(
+        self,
+        table: CountTable,
+        size: int,
+        keys: Sequence[Key],
+        counts: np.ndarray,
+    ) -> Layer:
+        layer = Layer(size, list(keys), counts)
+        bounds = self.shard_bounds(layer.num_vertices)
+        # Persist the *key-sorted* matrix so shards line up with the
+        # resident layer's row order.
+        if self.directory is not None:
+            key_array = np.asarray(
+                [[t, mask] for t, mask in layer.keys], dtype=np.int64
+            ).reshape(layer.num_keys, 2)
+            np.save(self._key_path(size), key_array)
+            for i in range(self.num_shards):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                np.save(
+                    self._shard_path(size, i),
+                    np.ascontiguousarray(layer.counts[:, lo:hi]),
+                )
+        self._layers[size] = (list(layer.keys), bounds)
+        table.set_layer(layer)
+        return layer
+
+    def sizes(self) -> List[int]:
+        """Layer sizes this store has installed, ascending."""
+        return sorted(self._layers)
+
+    def load_shard(
+        self, size: int, shard: int, mmap: bool = True
+    ) -> Tuple[List[Key], Tuple[int, int], np.ndarray]:
+        """Reopen one persisted shard: ``(keys, (lo, hi), counts)``.
+
+        ``counts`` covers only the columns of vertex range ``[lo, hi)``;
+        it is memory-mapped by default, so a distributed worker pages in
+        just its own range.
+        """
+        if self.directory is None:
+            raise TableError("sharded store has no directory to load from")
+        if size not in self._layers:
+            raise TableError(f"no sharded layer of size {size}")
+        if not 0 <= shard < self.num_shards:
+            raise TableError(
+                f"shard {shard} outside [0, {self.num_shards})"
+            )
+        keys, bounds = self._layers[size]
+        counts = np.load(
+            self._shard_path(size, shard), mmap_mode="r" if mmap else None
+        )
+        return keys, (int(bounds[shard]), int(bounds[shard + 1])), counts
+
+    def bytes_on_disk(self) -> int:
+        if self.directory is None:
+            return 0
+        total = 0
+        for name in os.listdir(self.directory):
+            total += os.path.getsize(os.path.join(self.directory, name))
+        return total
+
+    def _key_path(self, size: int) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"layer_{size}.keys.npy")
+
+    def _shard_path(self, size: int, shard: int) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"layer_{size}.shard{shard}.npy")
+
+
+def resolve_store(
+    store: Optional[LayerStore], spill: Optional[SpillStore]
+) -> LayerStore:
+    """Normalize build_table's storage arguments to one LayerStore.
+
+    ``spill`` is the pre-LayerStore spelling kept for compatibility; it is
+    equivalent to ``store=SpillLayerStore(spill)``.
+    """
+    if store is not None and spill is not None:
+        raise TableError("pass either store= or spill=, not both")
+    if store is not None:
+        return store
+    if spill is not None:
+        return SpillLayerStore(spill)
+    return InMemoryStore()

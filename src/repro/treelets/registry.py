@@ -129,6 +129,20 @@ class TreeletRegistry:
                 f"treelet {t} is not registered or has no decomposition"
             ) from None
 
+    def decompositions_of_size(self, h: int) -> List[Tuple[int, int, int, int]]:
+        """Decomposition plan for one level: ``(T, T', T'', β)`` rows.
+
+        Returns one tuple per canonical size-``h`` rooted treelet, in
+        canonical order — the raw material the batched build-up kernel's
+        combination plans (:mod:`repro.colorcoding.plans`) are compiled
+        from.
+        """
+        if not 2 <= h <= self.k:
+            raise TreeletError(
+                f"decompositions exist for sizes [2, {self.k}], not {h}"
+            )
+        return [(t, *self._decompositions[t]) for t in self.levels[h - 1]]
+
     def index_of(self, t: int) -> int:
         """Dense index of a treelet across all sizes (DP table offset)."""
         try:

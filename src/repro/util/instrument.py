@@ -61,13 +61,38 @@ class Instrumentation:
         self.timings.clear()
 
     def snapshot(self) -> "dict[str, float]":
-        """Return a flat dict view (counters and timings) for reporting."""
+        """Return a flat dict view (counters and timings) for reporting.
+
+        The snapshot is also the cross-process transport: it is plain
+        picklable data, and :meth:`from_snapshot` restores an equivalent
+        instrumentation object on the other side (the ensemble engine
+        ships per-worker snapshots back and merges them).
+        """
         out: "dict[str, float]" = {}
         for name, value in self.counters.items():
             out[f"count.{name}"] = float(value)
         for name, value in self.timings.items():
             out[f"time.{name}"] = value
         return out
+
+    @classmethod
+    def from_snapshot(cls, snapshot: "dict[str, float]") -> "Instrumentation":
+        """Rebuild an instrumentation object from :meth:`snapshot` output."""
+        instrumentation = cls()
+        for name, value in snapshot.items():
+            if name.startswith("count."):
+                instrumentation.counters[name[len("count."):]] = int(value)
+            elif name.startswith("time."):
+                instrumentation.timings[name[len("time."):]] = float(value)
+        return instrumentation
+
+    @classmethod
+    def merged(cls, parts: "list[Instrumentation]") -> "Instrumentation":
+        """A fresh instrumentation holding the sum of ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     def __getitem__(self, name: str) -> int:
         return self.counters.get(name, 0)

@@ -1,0 +1,196 @@
+"""Tests for the LayerStore backends and the combination plans."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import TableError
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.plans import (
+    build_level_plan,
+    compile_plans,
+    full_universe_keys,
+    level_plans,
+)
+from repro.graph.generators import erdos_renyi
+from repro.table.flush import SpillStore
+from repro.table.layer_store import (
+    InMemoryStore,
+    ShardedStore,
+    SpillLayerStore,
+    resolve_store,
+)
+from repro.treelets.encoding import getsize
+from repro.treelets.registry import TreeletRegistry
+from repro.util.bitops import popcount
+
+
+@pytest.fixture()
+def workload():
+    graph = erdos_renyi(30, 90, rng=21)
+    coloring = ColoringScheme.uniform(30, 4, rng=22)
+    return graph, coloring
+
+
+class TestResolveStore:
+    def test_default_is_in_memory(self):
+        assert isinstance(resolve_store(None, None), InMemoryStore)
+
+    def test_spill_shorthand(self, tmp_path):
+        spill = SpillStore(str(tmp_path))
+        store = resolve_store(None, spill)
+        assert isinstance(store, SpillLayerStore)
+        assert store.spill is spill
+
+    def test_both_rejected(self, tmp_path):
+        with pytest.raises(TableError):
+            resolve_store(InMemoryStore(), SpillStore(str(tmp_path)))
+
+
+class TestBackendsAgree:
+    def test_all_backends_same_table(self, tmp_path, workload):
+        graph, coloring = workload
+        reference = build_table(graph, coloring, store=InMemoryStore())
+        spilled = build_table(
+            graph, coloring,
+            store=SpillLayerStore(SpillStore(str(tmp_path / "spill"))),
+        )
+        sharded = build_table(
+            graph, coloring,
+            store=ShardedStore(3, directory=str(tmp_path / "shards")),
+        )
+        for h in range(1, 5):
+            for other in (spilled, sharded):
+                assert reference.layer(h).keys == other.layer(h).keys
+                assert np.array_equal(
+                    reference.layer(h).counts, np.asarray(other.layer(h).counts)
+                )
+
+    def test_spill_store_not_resident(self, tmp_path):
+        assert SpillLayerStore(SpillStore(str(tmp_path))).resident is False
+        assert InMemoryStore().resident is True
+        assert ShardedStore(2).resident is True
+
+
+class TestShardedStore:
+    def test_shard_files_and_roundtrip(self, tmp_path, workload):
+        graph, coloring = workload
+        store = ShardedStore(4, directory=str(tmp_path))
+        table = build_table(graph, coloring, store=store)
+        assert store.sizes() == [1, 2, 3, 4]
+        for size in store.sizes():
+            layer = table.layer(size)
+            rebuilt = []
+            for shard in range(4):
+                keys, (lo, hi), counts = store.load_shard(size, shard)
+                assert keys == layer.keys
+                assert counts.shape == (layer.num_keys, hi - lo)
+                rebuilt.append(np.asarray(counts))
+            assert np.array_equal(np.hstack(rebuilt), layer.counts)
+        assert store.bytes_on_disk() > 0
+
+    def test_bounds_cover_all_vertices(self):
+        store = ShardedStore(3)
+        bounds = store.shard_bounds(10)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        assert all(bounds[i] <= bounds[i + 1] for i in range(3))
+
+    def test_memory_only_shards_reject_load(self, workload):
+        graph, coloring = workload
+        store = ShardedStore(2)
+        build_table(graph, coloring, store=store)
+        with pytest.raises(TableError):
+            store.load_shard(2, 0)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(TableError):
+            ShardedStore(0)
+        store = ShardedStore(2, directory=str(tmp_path))
+        with pytest.raises(TableError):
+            store.load_shard(3, 0)
+
+
+class TestPlans:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return TreeletRegistry(5)
+
+    def test_decompositions_export(self, registry):
+        rows = registry.decompositions_of_size(3)
+        assert len(rows) == len(registry.treelets_of_size(3))
+        for treelet, t_prime, t_second, beta in rows:
+            assert registry.decomposition(treelet) == (t_prime, t_second, beta)
+        with pytest.raises(Exception):
+            registry.decompositions_of_size(1)
+
+    def test_level_plan_covers_universe(self, registry):
+        for h in range(2, 6):
+            plan = build_level_plan(registry, h)
+            expected = {
+                (t, mask)
+                for t in registry.treelets_of_size(h)
+                for mask in range(1 << registry.k)
+                if popcount(mask) == h
+            }
+            assert set(plan.out_keys) == expected
+            assert plan.betas.shape == (len(plan.out_keys),)
+            assert np.all(plan.betas >= 1)
+
+    def test_pair_sizes_consistent(self, registry):
+        for h in range(2, 6):
+            plan = build_level_plan(registry, h)
+            for group in plan.groups:
+                assert group.h_prime + group.h_second == h
+                for key in group.prime_keys:
+                    assert getsize(key[0]) == group.h_prime
+                for key in group.second_keys:
+                    assert getsize(key[0]) == group.h_second
+                # Slots are non-decreasing with contiguous runs.
+                slots = group.out_slots
+                assert np.all(np.diff(slots) >= 0)
+
+    def test_compiled_groups_partition_universe(self, registry):
+        for level in compile_plans(registry).values():
+            covered = np.concatenate([g.out_rows for g in level.groups])
+            assert sorted(covered.tolist()) == list(range(len(level.keys)))
+            assert list(level.keys) == sorted(level.keys)
+
+    def test_selection_luts_match_pairs(self, registry):
+        compiled = compile_plans(registry)
+        for level in compiled.values():
+            universe = full_universe_keys(registry, level.size)
+            assert list(level.keys) == universe
+            for group in level.groups:
+                if group.h_prime == 1:
+                    assert group.select_lut is not None
+                    assert group.color_slots is not None
+                    sentinel = len(
+                        full_universe_keys(registry, group.h_second)
+                    )
+                    for (slots_c, rows_c) in group.color_slots:
+                        assert np.all(rows_c < sentinel)
+                else:
+                    assert group.select_lut is None
+
+    def test_plans_cached_per_registry(self, registry):
+        assert level_plans(registry) is level_plans(registry)
+        assert compile_plans(registry) is compile_plans(registry)
+
+
+class TestSpillFinalize:
+    def test_sort_pass_runs_through_store(self, tmp_path, workload):
+        graph, coloring = workload
+        spill = SpillStore(str(tmp_path / "s"))
+        from repro.util.instrument import Instrumentation
+
+        instrumentation = Instrumentation()
+        table = build_table(
+            graph, coloring, spill=spill, instrumentation=instrumentation
+        )
+        assert "sort_pass" in instrumentation.timings
+        assert isinstance(table.layer(4).counts, np.memmap)
+        assert os.path.exists(os.path.join(str(tmp_path / "s"), "manifest.json"))
