@@ -1,7 +1,9 @@
 """Shared infrastructure for the experiment benchmarks.
 
-Every ``bench_*.py`` file reproduces one table or figure from the paper
-(see DESIGN.md §4 for the index).  This module provides:
+Every ``bench_fig*.py``/``bench_table_*.py`` file reproduces one table or
+figure from the paper (the file name says which); ``bench_buildup_kernel``
+and ``bench_sampling`` track this repo's own perf trajectory.  This
+module provides:
 
 * cached pipeline construction (build once per (dataset, k, options),
   reuse across the benchmark's tests);

@@ -20,8 +20,9 @@ Public entry points
 :mod:`repro.exact`
     Exact ground-truth counting (ESU) for validation.
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-table/figure reproduction index.
+See ``docs/architecture.md`` for the full pipeline walkthrough (data
+flow, per-module responsibilities) and ``docs/estimators.md`` for the
+estimator math; ``benchmarks/`` holds the table/figure reproductions.
 """
 
 from repro.errors import (

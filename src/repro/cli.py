@@ -29,6 +29,7 @@ from repro.graph.graph import Graph
 from repro.graph.io import load_binary, load_edge_list, save_binary, save_edge_list
 from repro.graphlets.encoding import decode_graphlet, graphlet_edge_count
 from repro.motivo import MotivoConfig, MotivoCounter
+from repro.sampling.naive import DEFAULT_BATCH_SIZE
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument(
         "--kernel", choices=["batched", "legacy"], default="batched",
         help="build-up kernel (legacy = per-key correctness oracle)",
+    )
+    count.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="samples per vectorized sampling chunk; <=1 disables "
+             f"batching (default {DEFAULT_BATCH_SIZE})",
     )
     count.add_argument(
         "--biased-lambda", type=float, default=None,
@@ -171,6 +177,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         biased_lambda=args.biased_lambda,
         spill_dir=args.spill_dir,
         kernel=args.kernel,
+        batch_size=args.batch_size,
     )
     if args.colorings > 1:
         estimates = _run_ensemble(graph, config, args)

@@ -4,18 +4,29 @@
     Uniform random coloring (§2.1) and the biased coloring of §3.4 that
     trades urn accuracy for table size on very large graphs.
 ``buildup``
-    Motivo's build-up phase: the Equation (1) dynamic program over succinct
-    treelets, vectorized as sparse matrix–vector products, with 0-rooting
-    and greedy flushing.
+    Motivo's build-up phase: the Equation (1) dynamic program over
+    succinct treelets.  The default batched kernel runs one sparse
+    matrix–matrix product per (level, source layer) and realizes the
+    recurrence through precompiled combination plans; the original
+    per-key loop survives as ``kernel="legacy"``, bit-identical.
+``plans``
+    The build-up kernel's compiler: per-level combination plans (row
+    index matrices, selection LUTs) from the treelet registry.
 ``buildup_baseline``
     CC's build-up phase: per-vertex hash tables over pointer treelets with
     recursive check-and-merge — the baseline of Figures 2–4, and (being
     exact-integer) the reference implementation for tests.
 ``urn``
     The sampling-phase interface over the finished table: uniform colorful
-    treelet samples (``sample()``) and per-shape samples (``sample(T)``,
-    the AGS primitive), with alias-method root selection and neighbor
-    buffering.
+    treelet samples (``sample()`` / ``sample_batch(n)``) and per-shape
+    samples (``sample_shape`` / ``sample_shape_batch``, the AGS
+    primitive), with alias-method root selection, neighbor buffering on
+    the scalar path, and a vectorized plan-replay descent on the batched
+    path.
+``descent``
+    The sampling engine's compiler: decomposition trees flattened into
+    descent plans that the batched path replays over whole sample
+    batches.
 """
 
 from repro.colorcoding.coloring import ColoringScheme

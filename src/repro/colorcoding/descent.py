@@ -1,0 +1,137 @@
+"""Compiled descent plans for the batched sampling engine.
+
+Materializing a treelet copy (§2.2) recurses over the *unique*
+decomposition ``T → (T', T'')``: choose a color split and a child
+endpoint, then recurse on both parts.  The recursion's **shape** is fully
+determined by the rooted treelet ``T`` — only the chosen color masks and
+vertices are random — so the whole control flow can be compiled once per
+treelet into a flat *descent plan* and replayed over any number of
+samples at once.  This module is the sampling-phase counterpart of the
+build-up's combination plans (:mod:`repro.colorcoding.plans`).
+
+A plan is the decomposition tree of ``T`` flattened in DFS pre-order:
+
+* every node of the tree becomes a :class:`DescentNode`, parents before
+  children, left (``T'``) subtree before right (``T''``);
+* internal nodes (a merge of ``T'`` at the root vertex with ``T''`` at a
+  child vertex) carry their *pre-order rank* among internal nodes — a
+  ``k``-leaf decomposition tree always has exactly ``k - 1`` of them;
+* leaves (singletons) carry the output column their vertex occupies in
+  the DFS vertex order that ``TreeletUrn.sample`` has always produced
+  (``left + right`` concatenation).
+
+The rank is what anchors the fixed-width uniform-matrix draw discipline
+(see :meth:`repro.colorcoding.urn.TreeletUrn.sample_batch`): internal
+node of rank ``r`` reads its split variate from matrix column
+``3 + 2r`` and its child variate from ``4 + 2r``, in both the batched
+and the per-sample reference path — the per-sample recursion consumes
+uniforms in exactly pre-order, so sequential reads land on the same
+slots by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.treelets.encoding import SINGLETON, getsize
+from repro.treelets.registry import TreeletRegistry
+
+__all__ = ["DescentNode", "DescentPlan", "compile_descent"]
+
+
+@dataclass(frozen=True)
+class DescentNode:
+    """One node of a flattened decomposition tree.
+
+    Attributes
+    ----------
+    treelet:
+        Rooted treelet encoding at this node (``SINGLETON`` for leaves).
+    t_prime, t_second:
+        The unique decomposition parts (``None`` on leaves).
+    rank:
+        Pre-order rank among *internal* nodes; drives uniform-slot
+        assignment.  ``None`` on leaves.
+    left, right:
+        Plan indices of the ``T'`` / ``T''`` subtree roots (``None`` on
+        leaves).
+    leaf_column:
+        Output column of this leaf's vertex in the DFS vertex order
+        (``None`` on internal nodes).
+    """
+
+    treelet: int
+    t_prime: Optional[int] = None
+    t_second: Optional[int] = None
+    rank: Optional[int] = None
+    left: Optional[int] = None
+    right: Optional[int] = None
+    leaf_column: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a singleton (no draws, emits a vertex)."""
+        return self.treelet == SINGLETON
+
+
+@dataclass(frozen=True)
+class DescentPlan:
+    """A rooted treelet's decomposition tree, flattened in pre-order.
+
+    ``nodes[0]`` is the root; iterating in index order visits parents
+    before children, so a level-free single pass can propagate
+    ``(mask, vertex)`` states downward.
+    """
+
+    treelet: int
+    nodes: Tuple[DescentNode, ...]
+    num_internal: int
+    num_leaves: int
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def compile_descent(registry: TreeletRegistry, treelet: int) -> DescentPlan:
+    """Flatten the decomposition tree of ``treelet`` into a descent plan.
+
+    The plan is a pure function of the registry's decompositions; callers
+    (the urn) cache plans per rooted treelet.
+    """
+    nodes: List[Optional[DescentNode]] = []
+    counters = {"rank": 0, "leaf": 0}
+
+    def walk(t: int) -> int:
+        index = len(nodes)
+        nodes.append(None)  # reserve the pre-order slot
+        if t == SINGLETON:
+            nodes[index] = DescentNode(
+                treelet=t, leaf_column=counters["leaf"]
+            )
+            counters["leaf"] += 1
+            return index
+        t_prime, t_second, _beta = registry.decomposition(t)
+        rank = counters["rank"]
+        counters["rank"] += 1
+        left = walk(t_prime)
+        right = walk(t_second)
+        nodes[index] = DescentNode(
+            treelet=t,
+            t_prime=t_prime,
+            t_second=t_second,
+            rank=rank,
+            left=left,
+            right=right,
+        )
+        return index
+
+    walk(treelet)
+    assert counters["leaf"] == getsize(treelet)
+    assert counters["rank"] == getsize(treelet) - 1
+    return DescentPlan(
+        treelet=treelet,
+        nodes=tuple(nodes),
+        num_internal=counters["rank"],
+        num_leaves=counters["leaf"],
+    )

@@ -12,6 +12,50 @@ This module draws from it:
     The AGS primitive: a uniform copy of one *free* treelet shape ``T``.
     Root selection uses a per-shape alias table, rebuilt from scratch when
     the shape changes — the paper notes exactly this rebuild cost.
+``sample_batch(n)`` / ``sample_shape_batch(T, n)``
+    The same two draws, vectorized across ``n`` samples: one
+    ``searchsorted`` sweep per decision level instead of a Python
+    recursion per sample.  See *Batched sampling* below.
+
+Batched sampling.  The copy-materialization recursion has a shape that is
+fully determined by the rooted treelet ``T`` (only the chosen color masks
+and vertices are random), so it compiles into a flat
+:class:`~repro.colorcoding.descent.DescentPlan` replayed over any number
+of samples at once.  Randomness follows a **fixed-width uniform-matrix
+draw discipline**: every sample owns one row of ``rng.random((n, w))``
+with ``w = 3 + 2(k-1)`` —
+
+====  =================================================================
+slot  meaning
+====  =================================================================
+0, 1  alias-table column and coin for the root draw
+2     key draw (``sample(v)``) or rooted-variant pick (shape sampling)
+3+2r  color-split choice of the internal node with pre-order rank ``r``
+4+2r  child-endpoint choice of that node
+====  =================================================================
+
+The per-sample reference path (``method="loop"``) replays the original
+recursion reading its row left to right, which lands on exactly those
+slots; the vectorized path (``method="batched"``) reads column slices.
+Because treelet counts are integer-valued floats (exact in float64 up to
+2^53), every weight, cumulative sum and comparison is bit-identical
+between the two paths, so for a fixed seed they return identical samples
+— the property ``BENCH_sampling.json`` and the batch-equivalence tests
+assert.  The binding magnitude for that guarantee is the *gathered*
+running sum: the batched path accumulates one cumsum over all adjacency
+lists per ``(T'', C'')`` key, i.e. ``Σ_u deg(u)·c(T''_{C''}, u)`` — a
+degree-weighted total up to Δ times larger than any per-vertex neighbor
+sum the scalar path ever forms.  While that stays below 2^53 the two
+paths cannot diverge; beyond it both keep working but may round
+differently.  No surrogate workload comes near the bound.
+
+Vectorized descent caches, per layer, a CSR-gathered cumulative count
+matrix (one ``O(m)`` row per ``(T'', C'')`` key, filled lazily on first
+use and reused by every subsequent batch) plus the resolved split
+candidates per ``(T', T'', C)`` — the batch counterpart of §3.2's
+neighbor buffering, which ``sample()`` still uses for its scalar draws.
+The matrices hold one ``2m``-float row per key the descent actually
+visits (grow-on-demand slots), never the whole key universe.
 
 Neighbor buffering (§3.2): materializing a copy repeatedly draws a child
 endpoint ``u ~ v`` with probability ∝ c(T''_{C''}, u), which costs a Θ(d_v)
@@ -28,6 +72,7 @@ import numpy as np
 
 from repro.errors import SamplingError
 from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.descent import DescentPlan, compile_descent
 from repro.graph.graph import Graph
 from repro.table.count_table import CountTable
 from repro.treelets.encoding import getsize
@@ -37,10 +82,43 @@ from repro.util.bitops import iter_subsets_of_size
 from repro.util.instrument import Instrumentation
 from repro.util.rng import RngLike, ensure_rng
 
-__all__ = ["TreeletUrn", "TreeletCopy"]
+__all__ = ["TreeletUrn", "TreeletCopy", "BatchSamples"]
 
 #: A materialized treelet occurrence: vertices in DFS order of the shape.
 TreeletCopy = Tuple[int, ...]
+
+#: Batched draw result: ``(vertices (n, k), treelets (n,), masks (n,))``.
+BatchSamples = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+#: Tie-break epsilon of the split choice, shared verbatim by the scalar
+#: recursion and the vectorized engine so their comparisons agree.
+_SPLIT_EPS = 1e-300
+
+#: Byte budget for the cached gathered-cumulative rows (each row costs
+#: ``(2m + 1) · 8`` bytes).  Keys beyond the budget are computed
+#: transiently per batch instead of cached, so the batched sampler's
+#: resident memory stays bounded on paper-scale graphs.
+_GATHERED_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class _UniformRow:
+    """Sequential reader over one sample's row of the uniform matrix.
+
+    Duck-types the only generator method the copy-materialization
+    recursion uses (``random()``), so the per-sample reference path can
+    run the unmodified recursion while drawing from pre-assigned slots.
+    """
+
+    __slots__ = ("_row", "_cursor")
+
+    def __init__(self, row: np.ndarray, cursor: int = 0):
+        self._row = row
+        self._cursor = cursor
+
+    def random(self) -> float:
+        value = float(self._row[self._cursor])
+        self._cursor += 1
+        return value
 
 
 class TreeletUrn:
@@ -54,7 +132,9 @@ class TreeletUrn:
         Treelet registry for ``k``.
     buffer_threshold:
         Degree above which neighbor buffering kicks in (paper: 10^4; the
-        surrogate graphs are smaller, so benchmarks lower it).
+        surrogate graphs are smaller, so benchmarks lower it).  Scalar
+        ``sample()`` path only — the batched path amortizes sweeps via
+        its gathered-cumulative cache instead.
     buffer_size:
         How many children to draw per sweep when buffering (paper: 100).
     """
@@ -87,6 +167,8 @@ class TreeletUrn:
             )
         self._root_alias = AliasSampler(weights)
         self._full_mask = (1 << self.k) - 1
+        #: Uniform-matrix width of the batched draw discipline.
+        self._draw_width = 3 + 2 * (self.k - 1)
 
         # Per-shape machinery (built lazily; the alias is rebuilt per shape).
         self._shape_weights: Dict[int, np.ndarray] = {}
@@ -95,6 +177,27 @@ class TreeletUrn:
 
         # Neighbor buffers: (v, treelet, mask) -> list of pre-drawn children.
         self._buffers: Dict[Tuple[int, int, int], List[int]] = {}
+
+        # Batched-path caches: compiled descent plans per rooted treelet
+        # (flattened into one global node table so the frontier can mix
+        # treelets), resolved split candidates per (T', T'', mask),
+        # per-layer CSR-gathered cumulative count matrices (rows filled
+        # lazily), and the size-k layer's keys as parallel arrays.
+        self._plans: Dict[int, DescentPlan] = {}
+        self._plan_roots: Dict[int, int] = {}
+        self._node_rows: List[Tuple[bool, int, int, int, int, int]] = []
+        self._node_table: Optional[Tuple[np.ndarray, ...]] = None
+        self._ops: List[Tuple[int, int]] = []
+        self._op_index: Dict[Tuple[int, int], int] = {}
+        self._split_cache: Dict[
+            Tuple[int, int, int],
+            Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        ] = {}
+        self._layer_gathered: Dict[int, "dict[str, object]"] = {}
+        row_bytes = (graph.indices.size + 1) * 8
+        self._gathered_row_budget = max(16, _GATHERED_CACHE_BYTES // row_bytes)
+        self._gathered_cached_rows = 0
+        self._key_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Global quantities
@@ -134,8 +237,24 @@ class TreeletUrn:
             self._shape_weights[shape] = weights
         return weights
 
+    def _shape_alias_for(self, shape: int) -> AliasSampler:
+        """The per-shape root alias table, built (and counted) lazily."""
+        alias = self._shape_alias.get(shape)
+        if alias is None:
+            weights = self._shape_weight_vector(shape)
+            if not weights.any():
+                raise SamplingError(
+                    f"shape {shape} has no colorful copies in the urn"
+                )
+            # Paper §3.3: when a new T is chosen the alias sampler must be
+            # rebuilt from scratch.
+            self.instrumentation.count("shape_alias_rebuilds")
+            alias = AliasSampler(weights)
+            self._shape_alias[shape] = alias
+        return alias
+
     # ------------------------------------------------------------------
-    # Sampling primitives
+    # Scalar sampling primitives
     # ------------------------------------------------------------------
 
     def sample(self, rng: RngLike = None) -> Tuple[TreeletCopy, int, int]:
@@ -152,24 +271,20 @@ class TreeletUrn:
     def sample_shape(self, shape: int, rng: RngLike = None) -> Tuple[TreeletCopy, int, int]:
         """AGS's ``sample(T)``: a uniform copy of one free k-treelet shape."""
         rng = ensure_rng(rng)
-        alias = self._shape_alias.get(shape)
-        if alias is None:
-            weights = self._shape_weight_vector(shape)
-            if not weights.any():
-                raise SamplingError(
-                    f"shape {shape} has no colorful copies in the urn"
-                )
-            # Paper §3.3: when a new T is chosen the alias sampler must be
-            # rebuilt from scratch.
-            self.instrumentation.count("shape_alias_rebuilds")
-            alias = AliasSampler(weights)
-            self._shape_alias[shape] = alias
+        alias = self._shape_alias_for(shape)
         root = alias.sample(rng)
         treelet = self._pick_rooted_variant(shape, root, rng)
         vertices = self._sample_copy(treelet, self._full_mask, root, rng)
         return tuple(vertices), treelet, self._full_mask
 
     def _pick_rooted_variant(self, shape: int, root: int, rng) -> int:
+        variants = self.registry.rooted_variants(shape)
+        if len(variants) == 1:
+            return variants[0]
+        return self._pick_rooted_variant_at(shape, root, rng.random())
+
+    def _pick_rooted_variant_at(self, shape: int, root: int, u: float) -> int:
+        """Variant pick driven by a caller-supplied uniform in ``[0, 1)``."""
         variants = self.registry.rooted_variants(shape)
         if len(variants) == 1:
             return variants[0]
@@ -181,7 +296,7 @@ class TreeletUrn:
         total = sum(weights)
         if total <= 0:
             raise SamplingError(f"vertex {root} roots no copies of shape {shape}")
-        r = rng.random() * total
+        r = u * total
         running = 0.0
         for rooted, weight in zip(variants, weights):
             running += weight
@@ -190,16 +305,510 @@ class TreeletUrn:
         return variants[-1]
 
     # ------------------------------------------------------------------
+    # Batched sampling
+    # ------------------------------------------------------------------
+
+    def sample_batch(
+        self, n: int, rng: RngLike = None, method: str = "batched"
+    ) -> BatchSamples:
+        """Draw ``n`` uniform colorful k-treelet copies at once.
+
+        Returns ``(vertices, treelets, masks)``: an ``(n, k)`` int64
+        matrix of copies (each row in the same DFS order :meth:`sample`
+        produces), the rooted treelet and the color mask per sample.
+
+        ``method="batched"`` (default) runs the vectorized descent;
+        ``method="loop"`` runs the per-sample recursion over the same
+        uniform matrix — the reference path the benchmarks time against.
+        For a fixed seed the two return bit-identical arrays (see the
+        module docstring for why).  Note the batch consumes the generator
+        differently from ``n`` scalar :meth:`sample` calls: one
+        ``rng.random((n, 3 + 2(k-1)))`` block, so results are reproducible
+        per ``(seed, n)``, not interchangeable with the scalar stream.
+        """
+        if n < 1:
+            raise SamplingError("need at least one sample")
+        rng = ensure_rng(rng)
+        uniforms = rng.random((n, self._draw_width))
+        if method == "loop":
+            out = self._sample_batch_loop(uniforms)
+        elif method == "batched":
+            out = self._sample_batch_vectorized(uniforms)
+        else:
+            raise SamplingError(f"unknown sampling method {method!r}")
+        self.instrumentation.count("batched_samples", n)
+        return out
+
+    def sample_shape_batch(
+        self, shape: int, n: int, rng: RngLike = None, method: str = "batched"
+    ) -> BatchSamples:
+        """Draw ``n`` uniform copies of one free shape at once (AGS).
+
+        Same contract and draw discipline as :meth:`sample_batch`, with
+        slot 2 of each row picking the rooted variant instead of a table
+        key; every returned mask is the full color mask.
+        """
+        if n < 1:
+            raise SamplingError("need at least one sample")
+        rng = ensure_rng(rng)
+        alias = self._shape_alias_for(shape)
+        uniforms = rng.random((n, self._draw_width))
+        if method == "loop":
+            out = self._sample_shape_batch_loop(shape, alias, uniforms)
+        elif method == "batched":
+            out = self._sample_shape_batch_vectorized(shape, alias, uniforms)
+        else:
+            raise SamplingError(f"unknown sampling method {method!r}")
+        self.instrumentation.count("batched_shape_samples", n)
+        return out
+
+    # -- per-sample reference path --------------------------------------
+
+    def _sample_batch_loop(self, uniforms: np.ndarray) -> BatchSamples:
+        n = uniforms.shape[0]
+        vertices = np.empty((n, self.k), dtype=np.int64)
+        treelets = np.empty(n, dtype=np.int64)
+        masks = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            row = uniforms[i]
+            root = int(self._root_alias.pick_from_uniforms(row[0], row[1]))
+            treelet, mask = self.table.sample_key_at(root, float(row[2]))
+            copy = self._sample_copy(
+                treelet, mask, root, _UniformRow(row, 3), use_buffers=False
+            )
+            vertices[i] = copy
+            treelets[i] = treelet
+            masks[i] = mask
+        return vertices, treelets, masks
+
+    def _sample_shape_batch_loop(
+        self, shape: int, alias: AliasSampler, uniforms: np.ndarray
+    ) -> BatchSamples:
+        n = uniforms.shape[0]
+        vertices = np.empty((n, self.k), dtype=np.int64)
+        treelets = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            row = uniforms[i]
+            root = int(alias.pick_from_uniforms(row[0], row[1]))
+            treelet = self._pick_rooted_variant_at(shape, root, float(row[2]))
+            copy = self._sample_copy(
+                treelet, self._full_mask, root, _UniformRow(row, 3),
+                use_buffers=False,
+            )
+            vertices[i] = copy
+            treelets[i] = treelet
+        masks = np.full(n, self._full_mask, dtype=np.int64)
+        return vertices, treelets, masks
+
+    # -- vectorized path -------------------------------------------------
+
+    def _sample_batch_vectorized(self, uniforms: np.ndarray) -> BatchSamples:
+        roots = self._root_alias.pick_from_uniforms(
+            uniforms[:, 0], uniforms[:, 1]
+        )
+        rows = self.table.sample_key_rows_batch(roots, uniforms[:, 2])
+        treelet_arr, mask_arr = self._size_k_key_arrays()
+        treelets = treelet_arr[rows]
+        masks = mask_arr[rows]
+        vertices = self._descend_batch(treelets, masks, roots, uniforms)
+        return vertices, treelets, masks
+
+    def _sample_shape_batch_vectorized(
+        self, shape: int, alias: AliasSampler, uniforms: np.ndarray
+    ) -> BatchSamples:
+        roots = alias.pick_from_uniforms(uniforms[:, 0], uniforms[:, 1])
+        treelets = self._pick_rooted_variants_batch(
+            shape, roots, uniforms[:, 2]
+        )
+        masks = np.full(roots.shape, self._full_mask, dtype=np.int64)
+        vertices = self._descend_batch(treelets, masks, roots, uniforms)
+        return vertices, treelets, masks
+
+    def _size_k_key_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The size-k layer's keys as parallel (treelet, mask) arrays."""
+        if self._key_arrays is None:
+            keys = self.table.layer(self.k).keys
+            self._key_arrays = (
+                np.array([key[0] for key in keys], dtype=np.int64),
+                np.array([key[1] for key in keys], dtype=np.int64),
+            )
+        return self._key_arrays
+
+    def _pick_rooted_variants_batch(
+        self, shape: int, roots: np.ndarray, us: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`_pick_rooted_variant_at` over many roots."""
+        variants = self.registry.rooted_variants(shape)
+        if len(variants) == 1:
+            return np.full(roots.shape, variants[0], dtype=np.int64)
+        layer = self.table.layer(self.k)
+        weights = np.zeros((roots.size, len(variants)), dtype=np.float64)
+        for j, rooted in enumerate(variants):
+            row = layer.counts_for(rooted, self._full_mask)
+            if row is not None:
+                weights[:, j] = row[roots]
+        cumulative = np.cumsum(weights, axis=1)
+        totals = cumulative[:, -1]
+        if np.any(totals <= 0):
+            bad = int(roots[np.argmax(totals <= 0)])
+            raise SamplingError(
+                f"vertex {bad} roots no copies of shape {shape}"
+            )
+        targets = us * totals
+        # Scalar rule "first j with r <= running_j" = count of running < r.
+        chosen = (cumulative < targets[:, None]).sum(axis=1)
+        chosen = np.minimum(chosen, len(variants) - 1)
+        return np.asarray(variants, dtype=np.int64)[chosen]
+
+    def _plan_root(self, treelet: int) -> int:
+        """Global node-table id of the treelet's plan root (compiling and
+        installing the plan into the table on first use)."""
+        root = self._plan_roots.get(treelet)
+        if root is not None:
+            return root
+        plan = compile_descent(self.registry, treelet)
+        self._plans[treelet] = plan
+        base = len(self._node_rows)
+        for node in plan.nodes:
+            if node.is_leaf:
+                self._node_rows.append((True, node.leaf_column, -1, -1, -1, -1))
+                continue
+            op_key = (node.t_prime, node.t_second)
+            op = self._op_index.get(op_key)
+            if op is None:
+                op = len(self._ops)
+                self._ops.append(op_key)
+                self._op_index[op_key] = op
+            self._node_rows.append(
+                (False, -1, node.rank, op, base + node.left, base + node.right)
+            )
+        self._node_table = None  # rebuilt lazily from the extended rows
+        self._plan_roots[treelet] = base
+        return base
+
+    def _node_arrays(self) -> Tuple[np.ndarray, ...]:
+        """The global node table as parallel arrays
+        ``(is_leaf, leaf_col, rank, op, left, right)``."""
+        if self._node_table is None:
+            rows = self._node_rows
+            self._node_table = (
+                np.array([r[0] for r in rows], dtype=bool),
+                np.array([r[1] for r in rows], dtype=np.int64),
+                np.array([r[2] for r in rows], dtype=np.int64),
+                np.array([r[3] for r in rows], dtype=np.int64),
+                np.array([r[4] for r in rows], dtype=np.int64),
+                np.array([r[5] for r in rows], dtype=np.int64),
+            )
+        return self._node_table
+
+    def _gathered(
+        self, size: int, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gathered-cumulative rows for layer keys: ``(matrix, slots)``.
+
+        ``matrix[slots[i]]`` holds, for ``rows[i]``'s key, ``2m + 1``
+        running sums with a leading zero: for any vertex ``v`` the slice
+        ``[indptr[v]+1 : indptr[v+1]+1]`` minus the value at ``indptr[v]``
+        is exactly the per-neighbor running sum the scalar path computes
+        with ``cumsum(counts[neighbors])``, and the difference of the
+        slice endpoints is the neighbor total.  Exact because counts are
+        integer-valued (see the module docstring for the magnitude
+        caveat).
+
+        Rows are built once (one ``O(m)`` pass each) and cached in a
+        grow-on-demand matrix holding only keys the descent actually
+        visits — the batch counterpart of §3.2 neighbor buffering.  The
+        cache is capped at ``_GATHERED_CACHE_BYTES`` across all layers;
+        once full, requests involving uncached keys get a transient
+        per-call matrix instead (same arithmetic, nothing retained), so
+        resident memory stays bounded on paper-scale graphs.
+        """
+        entry = self._layer_gathered.get(size)
+        if entry is None:
+            entry = {
+                "matrix": np.zeros(
+                    (0, self.graph.indices.size + 1), dtype=np.float64
+                ),
+                "slot_of": {},
+            }
+            self._layer_gathered[size] = entry
+        slot_of: Dict[int, int] = entry["slot_of"]
+        missing = [row for row in rows if row not in slot_of]
+        layer = self.table.layer(size)
+        if missing:
+            # Fill whatever budget remains, then serve any leftover keys
+            # from a transient matrix so the whole budget is always used.
+            room = self._gathered_row_budget - self._gathered_cached_rows
+            to_cache = missing[: max(room, 0)]
+            if to_cache:
+                matrix = entry["matrix"]
+                needed = len(slot_of) + len(to_cache)
+                if needed > matrix.shape[0]:
+                    grown = np.zeros(
+                        (max(needed, 2 * matrix.shape[0]), matrix.shape[1]),
+                        dtype=np.float64,
+                    )
+                    grown[: matrix.shape[0]] = matrix
+                    entry["matrix"] = matrix = grown
+                for row in to_cache:
+                    slot = len(slot_of)
+                    slot_of[row] = slot
+                    np.cumsum(
+                        layer.counts[row][self.graph.indices],
+                        out=matrix[slot, 1:],
+                    )
+                    self._gathered_cached_rows += 1
+                    self.instrumentation.count("gathered_cumulative_builds")
+            if len(to_cache) < len(missing):
+                transient = np.zeros(
+                    (len(rows), self.graph.indices.size + 1),
+                    dtype=np.float64,
+                )
+                for i, row in enumerate(rows):
+                    slot = slot_of.get(row)
+                    if slot is not None:
+                        transient[i] = entry["matrix"][slot]
+                    else:
+                        np.cumsum(
+                            layer.counts[row][self.graph.indices],
+                            out=transient[i, 1:],
+                        )
+                        self.instrumentation.count(
+                            "gathered_transient_builds"
+                        )
+                return transient, np.arange(len(rows), dtype=np.int64)
+        slots = np.array([slot_of[row] for row in rows], dtype=np.int64)
+        return entry["matrix"], slots
+
+    def _split_info(
+        self, t_prime: int, t_second: int, mask: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Resolved split candidates for one ``(T', T'', mask)`` node.
+
+        Returns ``(sub_masks, second_rows, prime_rows)`` — the candidate
+        color splits in ``iter_subsets_of_size`` order whose both table
+        rows exist, with their row indices into the two layers — or
+        ``None`` when the key universe realizes no candidate at all.
+        Pure table metadata, cached for the urn's lifetime.
+        """
+        key = (t_prime, t_second, mask)
+        if key in self._split_cache:
+            return self._split_cache[key]
+        h_second = getsize(t_second)
+        layer_prime = self.table.layer(getsize(t_prime))
+        layer_second = self.table.layer(h_second)
+        subs: List[int] = []
+        second_rows: List[int] = []
+        prime_rows: List[int] = []
+        for sub in iter_subsets_of_size(mask, h_second):
+            row_second = layer_second.row_of(t_second, sub)
+            if row_second is None:
+                continue
+            row_prime = layer_prime.row_of(t_prime, mask ^ sub)
+            if row_prime is None:
+                continue
+            subs.append(sub)
+            second_rows.append(row_second)
+            prime_rows.append(row_prime)
+        info = (
+            None
+            if not subs
+            else (
+                np.array(subs, dtype=np.int64),
+                np.array(second_rows, dtype=np.int64),
+                np.array(prime_rows, dtype=np.int64),
+            )
+        )
+        self._split_cache[key] = info
+        return info
+
+    def _descend_batch(
+        self,
+        treelets: np.ndarray,
+        masks: np.ndarray,
+        roots: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> np.ndarray:
+        """Materialize every sample's copy by replaying descent plans.
+
+        Level-synchronous frontier: every sample starts at its plan's
+        root in the global node table; each wave resolves leaves into the
+        output matrix and splits the internal items into their two
+        children, grouping the split work by ``(T', T'', mask)`` *across*
+        treelets — coalescing work that a per-treelet walk would
+        fragment.  Waves = decomposition-tree depth ≤ k - 1.
+        """
+        n = treelets.shape[0]
+        out = np.empty((n, self.k), dtype=np.int64)
+        gids = np.empty(n, dtype=np.int64)
+        for treelet in np.unique(treelets):
+            gids[treelets == treelet] = self._plan_root(int(treelet))
+        is_leaf, leaf_col, node_rank, node_op, left, right = (
+            self._node_arrays()
+        )
+        samples = np.arange(n, dtype=np.int64)
+        masks = masks.astype(np.int64)
+        verts = np.asarray(roots, dtype=np.int64)
+
+        while samples.size:
+            at_leaf = is_leaf[gids]
+            if at_leaf.any():
+                hit = np.flatnonzero(at_leaf)
+                out[samples[hit], leaf_col[gids[hit]]] = verts[hit]
+                keep = ~at_leaf
+                samples, gids = samples[keep], gids[keep]
+                masks, verts = masks[keep], verts[keep]
+                if not samples.size:
+                    break
+            ranks = node_rank[gids]
+            split_u = uniforms[samples, 3 + 2 * ranks]
+            child_u = uniforms[samples, 4 + 2 * ranks]
+            sub_masks = np.empty(samples.size, dtype=np.int64)
+            children = np.empty(samples.size, dtype=np.int64)
+            group_keys = node_op[gids] << self.k | masks
+            for key in np.unique(group_keys):
+                group = np.flatnonzero(group_keys == key)
+                t_prime, t_second = self._ops[int(key) >> self.k]
+                subs, kids = self._choose_split_group(
+                    t_prime, t_second, int(key) & self._full_mask,
+                    verts[group], split_u[group], child_u[group],
+                )
+                sub_masks[group] = subs
+                children[group] = kids
+            samples = np.concatenate([samples, samples])
+            gids = np.concatenate([left[gids], right[gids]])
+            verts = np.concatenate([verts, children])
+            masks = np.concatenate([masks ^ sub_masks, sub_masks])
+        return out
+
+    def _choose_split_group(
+        self,
+        t_prime: int,
+        t_second: int,
+        mask: int,
+        v: np.ndarray,
+        split_u: np.ndarray,
+        child_u: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized color-split and child-endpoint choice, one group.
+
+        All samples share the node's ``(T', T'', mask)``; only the vertex
+        varies.  Mirrors the scalar recursion decision by decision:
+        candidate order is ``iter_subsets_of_size``, weights are
+        ``c(T'_{C\\C''}, v) · S(T''_{C''}, v)``, the winner is the first
+        candidate whose running weight reaches ``u · total`` (with the
+        same ``1e-300`` tie epsilon), and the child endpoint inverts the
+        per-neighbor running sum.  All sums involved are integer-valued,
+        so every comparison matches the scalar path bit for bit.
+        """
+        info = self._split_info(t_prime, t_second, mask)
+        if info is None:
+            raise SamplingError(
+                "inconsistent table: no valid split for treelet at "
+                f"vertex {int(v[0])}"
+            )
+        subs_arr, second_rows, prime_rows = info
+        layer_prime = self.table.layer(getsize(t_prime))
+        gathered, second_slots = self._gathered(getsize(t_second), second_rows)
+        indptr = self.graph.indptr
+
+        # (P, g) candidate weights: c(T'_{C\C''}, v) · S(T''_{C''}, v).
+        starts = indptr[v]
+        ends = indptr[v + 1]
+        s_vals = (
+            gathered[second_slots[:, None], ends[None, :]]
+            - gathered[second_slots[:, None], starts[None, :]]
+        )
+        prime_vals = layer_prime.counts[prime_rows[:, None], v[None, :]]
+        weights = np.where(
+            (prime_vals > 0.0) & (s_vals > 0.0),
+            prime_vals * s_vals,
+            0.0,
+        )
+        included = weights > 0.0
+        cumulative = np.cumsum(weights, axis=0)
+        totals = cumulative[-1]
+        if np.any(totals <= 0.0):
+            bad = int(v[np.argmax(totals <= 0.0)])
+            raise SamplingError(
+                "inconsistent table: no valid split for treelet at "
+                f"vertex {bad}"
+            )
+        targets = split_u * totals
+        # Scalar rule: first *included* candidate whose running sum
+        # satisfies r <= cum + eps, i.e. the count of included candidates
+        # with cum + eps < r; overflow falls back to the last included
+        # candidate, exactly like the scalar loop.
+        rank = (
+            ((cumulative + _SPLIT_EPS) < targets[None, :]) & included
+        ).sum(axis=0)
+        rank = np.minimum(rank, included.sum(axis=0) - 1)
+        included_order = np.cumsum(included, axis=0)
+        position = np.argmax(included_order == (rank + 1)[None, :], axis=0)
+
+        chosen_slots = second_slots[position]
+        targets_child = child_u * s_vals[position, np.arange(v.size)]
+        children = self._draw_children_batch(
+            gathered, chosen_slots, v, targets_child
+        )
+        return subs_arr[position], children
+
+    def _draw_children_batch(
+        self,
+        gathered: np.ndarray,
+        rows: np.ndarray,
+        verts: np.ndarray,
+        targets: np.ndarray,
+    ) -> np.ndarray:
+        """Invert per-neighbor running sums for many vertices at once.
+
+        For each vertex the scalar path computes
+        ``searchsorted(cumsum(c[neighbors]), u·total, side="right")``;
+        here the ragged adjacency segments are flattened into one
+        comparison + one segmented reduction, with running sums taken
+        from the layer's gathered-cumulative matrix (``rows[i]`` is the
+        matrix slot of sample ``i``'s chosen key).  Exact integers, so
+        identical to the scalar cumsum.
+        """
+        indptr = self.graph.indptr
+        starts = indptr[verts]
+        lengths = indptr[verts + 1] - starts
+        offsets = np.zeros(verts.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offsets[1:])
+        total = int(lengths.sum())
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, lengths)
+            + np.repeat(starts, lengths)
+        )
+        running = (
+            gathered[np.repeat(rows, lengths), flat + 1]
+            - np.repeat(gathered[rows, starts], lengths)
+        )
+        below = (running <= np.repeat(targets, lengths)).astype(np.int64)
+        positions = np.add.reduceat(below, offsets)
+        positions = np.minimum(positions, lengths - 1)
+        self.instrumentation.count("batched_child_draws", verts.size)
+        return self.graph.indices[starts + positions]
+
+    # ------------------------------------------------------------------
     # Copy materialization (§2.2 recursion)
     # ------------------------------------------------------------------
 
-    def _sample_copy(self, treelet: int, mask: int, v: int, rng) -> List[int]:
+    def _sample_copy(
+        self, treelet: int, mask: int, v: int, draws, use_buffers: bool = True
+    ) -> List[int]:
         """Materialize one uniform copy of ``T_C`` rooted at ``v``.
 
         Recursion over the unique decomposition: choose the color split and
         the child endpoint with probability ∝ c(T'_{C'}, v)·c(T''_{C''}, u),
         then recurse on both parts.  Disjoint colors guarantee the parts
         are vertex-disjoint, so the union is a valid copy.
+
+        ``draws`` is anything with a ``random()`` method — a NumPy
+        generator on the scalar path, a :class:`_UniformRow` on the
+        batch-reference path (which also disables neighbor buffering,
+        since buffered draws consume variates out of discipline).
         """
         if treelet == 0:  # SINGLETON
             return [v]
@@ -233,19 +842,22 @@ class TreeletUrn:
                 f"inconsistent table: no valid split for treelet at vertex {v}"
             )
         total = sum(weights)
-        r = rng.random() * total
+        r = draws.random() * total
         running = 0.0
         chosen = splits[-1]
         for split, weight in zip(splits, weights):
             running += weight
-            if r <= running + 1e-300:
+            if r <= running + _SPLIT_EPS:
                 chosen = split
                 break
         sub_mask, prime_mask, neighbor_counts, neighbor_total = chosen
 
-        u = self._draw_child(v, t_second, sub_mask, neighbors, neighbor_counts, neighbor_total, rng)
-        left = self._sample_copy(t_prime, prime_mask, v, rng)
-        right = self._sample_copy(t_second, sub_mask, u, rng)
+        u = self._draw_child(
+            v, t_second, sub_mask, neighbors, neighbor_counts,
+            neighbor_total, draws, use_buffers,
+        )
+        left = self._sample_copy(t_prime, prime_mask, v, draws, use_buffers)
+        right = self._sample_copy(t_second, sub_mask, u, draws, use_buffers)
         return left + right
 
     def _draw_child(
@@ -256,27 +868,30 @@ class TreeletUrn:
         neighbors: np.ndarray,
         neighbor_counts: np.ndarray,
         neighbor_total: float,
-        rng,
+        draws,
+        use_buffers: bool = True,
     ) -> int:
         """Draw ``u ~ v`` with probability ∝ c(T''_{C''}, u).
 
         Applies neighbor buffering (§3.2) for high-degree vertices: drawing
         ``buffer_size`` children costs the same single sweep as drawing
-        one, so subsequent requests are served from the cache.
+        one, so subsequent requests are served from the cache.  Buffering
+        requires a real generator (``choice``), so the batch-reference
+        path turns it off.
         """
-        if neighbors.size >= self.buffer_threshold:
+        if use_buffers and neighbors.size >= self.buffer_threshold:
             key = (v, t_second, sub_mask)
             buffer = self._buffers.get(key)
             if buffer:
                 return buffer.pop()
             self.instrumentation.count("neighbor_sweeps")
             probabilities = neighbor_counts / neighbor_total
-            drawn = rng.choice(neighbors, size=self.buffer_size, p=probabilities)
+            drawn = draws.choice(neighbors, size=self.buffer_size, p=probabilities)
             buffer = [int(u) for u in drawn]
             self._buffers[key] = buffer
             return buffer.pop()
         self.instrumentation.count("neighbor_sweeps")
-        r = rng.random() * neighbor_total
+        r = draws.random() * neighbor_total
         running = np.cumsum(neighbor_counts)
         position = int(np.searchsorted(running, r, side="right"))
         position = min(position, neighbors.size - 1)

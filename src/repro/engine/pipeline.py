@@ -14,7 +14,11 @@ outer loop:
 * **Executor choice.**  ``jobs=1`` runs in-process; ``jobs>1`` uses a
   ``ProcessPoolExecutor`` (each coloring is an independent build + sample,
   the ideal process-parallel unit).  If the platform cannot spawn workers
-  the engine degrades to serial execution rather than failing.
+  the engine degrades to serial execution rather than failing.  Sampling
+  parallelizes across colorings exactly like build-up: each worker runs
+  its whole pipeline — including the vectorized ``batch_size`` sampling
+  chunks configured on :class:`~repro.motivo.MotivoConfig` — so batching
+  and process fan-out compose.
 * **Merged instrumentation.**  Every run's counters and timers fold into
   one :class:`~repro.util.instrument.Instrumentation` via its snapshot
   transport, so ``merge_ops``/``spmm_ops``/``buildup`` totals cover the

@@ -6,7 +6,8 @@ queries (§3.3, "Input graph").  :class:`~repro.graph.graph.Graph` is the
 same design on NumPy arrays (CSR).  The remaining modules provide the
 loaders/savers (text edge lists and a binary format, standing in for the
 "motivo binary format"), synthetic generators, and the named surrogate
-datasets replacing the paper's public graphs (see DESIGN.md §2).
+datasets replacing the paper's public graphs (listed in
+:mod:`repro.graph.datasets`).
 """
 
 from repro.graph.graph import Graph

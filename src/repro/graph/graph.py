@@ -204,28 +204,49 @@ class Graph:
             self._edge_keys = heads * np.int64(self._n) + self._indices
         return self._edge_keys
 
+    def has_edges(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched edge-membership: one boolean per ``(us[i], vs[i])`` pair.
+
+        Accepts index arrays of any (matching) shape and answers every
+        query with a single ``np.searchsorted`` against the packed sorted
+        edge keys — the set-at-a-time counterpart of :meth:`has_edge` that
+        the batched graphlet classifier runs on ``n_samples × k(k-1)/2``
+        candidate edges at once.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise GraphError(f"endpoint shapes differ: {us.shape} vs {vs.shape}")
+        if us.size and (
+            min(us.min(), vs.min()) < 0 or max(us.max(), vs.max()) >= self._n
+        ):
+            raise GraphError(f"vertices outside [0, {self._n})")
+        if self._indices.size == 0:
+            return np.zeros(us.shape, dtype=bool)
+        keys = us * np.int64(self._n) + vs
+        edge_keys = self._sorted_edge_keys()
+        positions = np.searchsorted(edge_keys, keys)
+        positions[positions >= edge_keys.size] = edge_keys.size - 1
+        return edge_keys[positions] == keys
+
     def induced_adjacency(self, vertices: Sequence[int]) -> np.ndarray:
         """Dense boolean adjacency of the induced subgraph on ``vertices``.
 
         The sampling phase calls this to turn a sampled treelet copy into
-        the induced graphlet — it is the per-sample hot path.  All
-        ``k(k-1)/2`` pair queries run as one batched ``np.searchsorted``
-        against the packed sorted edge keys (cost O(k² log m), no Python
-        loop over pairs).
+        the induced graphlet.  All ``k(k-1)/2`` pair queries run as one
+        :meth:`has_edges` call (cost O(k² log m), no Python loop over
+        pairs).
         """
         verts = np.asarray(vertices, dtype=np.int64)
         k = verts.shape[0]
-        if k and (verts.min() < 0 or verts.max() >= self._n):
-            raise GraphError(f"vertices outside [0, {self._n})")
         out = np.zeros((k, k), dtype=bool)
-        if k < 2 or self._indices.size == 0:
+        if k < 2:
+            if k and (verts.min() < 0 or verts.max() >= self._n):
+                raise GraphError(f"vertices outside [0, {self._n})")
             return out
         rows, cols = np.triu_indices(k, 1)
-        keys = verts[rows] * np.int64(self._n) + verts[cols]
-        edge_keys = self._sorted_edge_keys()
-        positions = np.searchsorted(edge_keys, keys)
-        positions[positions >= edge_keys.size] = edge_keys.size - 1
-        present = edge_keys[positions] == keys
+        # has_edges validates the vertex range for the k >= 2 path.
+        present = self.has_edges(verts[rows], verts[cols])
         out[rows[present], cols[present]] = True
         out[cols[present], rows[present]] = True
         return out

@@ -3,10 +3,12 @@
 :class:`MotivoCounter` wires the full paper pipeline together — color the
 graph, run the build-up phase (the batched one-SpMM-per-layer kernel by
 default; ``kernel="legacy"`` keeps the per-key oracle), wrap the table in
-an urn, sample (naive or AGS), convert to count estimates — behind a
-configuration dataclass.  Layer storage follows the config: in-memory by
-default, greedily flushed to ``spill_dir`` and memory-mapped back when
-set (§3.1/§3.3).
+an urn, sample (naive or AGS, both drawn in vectorized batches of
+``batch_size``), convert to count estimates — behind a configuration
+dataclass.  Layer storage follows the config: in-memory by default,
+greedily flushed to ``spill_dir`` and memory-mapped back when set
+(§3.1/§3.3).  The whole pipeline is walked module by module in
+``docs/architecture.md``.
 
 Multi-coloring averaging — how the paper both reduces variance and
 produces its non-exact ground truths ("we averaged the counts given by
@@ -39,7 +41,7 @@ from repro.graph.graph import Graph
 from repro.graphlets.spanning import SigmaCache
 from repro.sampling.ags import AGSResult, ags_estimate
 from repro.sampling.estimates import GraphletEstimates
-from repro.sampling.naive import naive_estimate
+from repro.sampling.naive import DEFAULT_BATCH_SIZE, naive_estimate
 from repro.sampling.occurrences import GraphletClassifier
 from repro.table.flush import SpillStore
 from repro.treelets.registry import TreeletRegistry
@@ -75,6 +77,11 @@ class MotivoConfig:
         Build-up kernel: ``"batched"`` (one SpMM per layer, the default)
         or ``"legacy"`` (per-key loop, the correctness oracle).  Both
         produce bit-identical tables.
+    batch_size:
+        Samples per vectorized sampling chunk (naive chunks, AGS adaptive
+        chunk cap).  ``<= 1`` falls back to the original per-sample draw
+        loop; the two regimes consume the generator differently, so
+        estimates are reproducible per ``(seed, batch_size)``.
     """
 
     k: int = 5
@@ -86,6 +93,7 @@ class MotivoConfig:
     spill_dir: Optional[str] = None
     sigma_cache_dir: Optional[str] = None
     kernel: str = "batched"
+    batch_size: int = DEFAULT_BATCH_SIZE
 
 
 class MotivoCounter:
@@ -150,14 +158,17 @@ class MotivoCounter:
     # ------------------------------------------------------------------
 
     def sample_naive(self, num_samples: int) -> GraphletEstimates:
-        """CC-style naive sampling estimates (§2.2)."""
+        """CC-style naive sampling estimates (§2.2), drawn in batches."""
         urn = self._require_built()
-        return naive_estimate(urn, self.classifier, num_samples, self._rng)
+        return naive_estimate(
+            urn, self.classifier, num_samples, self._rng,
+            batch_size=self.config.batch_size,
+        )
 
     def sample_ags(
         self, budget: int, cover_threshold: int = 300
     ) -> AGSResult:
-        """Adaptive graphlet sampling estimates (§4)."""
+        """Adaptive graphlet sampling estimates (§4), chunked draws."""
         urn = self._require_built()
         return ags_estimate(
             urn,
@@ -166,6 +177,7 @@ class MotivoCounter:
             cover_threshold=cover_threshold,
             rng=self._rng,
             sigma_cache=self.sigma_cache,
+            batch_size=self.config.batch_size,
         )
 
     # ------------------------------------------------------------------

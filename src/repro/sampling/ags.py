@@ -19,6 +19,22 @@ usage ``n_j`` instead is equivalent and lets σ tables be computed lazily —
 only for graphlets actually observed — exactly the laziness motivo's disk
 cache of σ_ij enables (§3.3).
 
+Chunked draws.  With the batched sampling engine, draws run in *adaptive
+chunks* between set-cover checks: a chunk of up to ``batch_size`` copies
+of the current shape is drawn with one
+:meth:`~repro.colorcoding.urn.TreeletUrn.sample_shape_batch` call, hits
+are tallied, and only then is coverage re-evaluated (one shape switch per
+chunk at most).  Chunks start small and double while no graphlet gets
+covered, resetting after a switch — so the early exploratory phase stays
+close to the paper's per-sample switching while the steady state runs at
+full batch width.  Every sample is attributed to the shape it was
+actually drawn with, so the importance weights ``w_i`` (and hence the
+estimator) remain exact under chunking; the only deviation from the
+paper's pseudocode is that a switch can lag the covering sample by at
+most one chunk.  ``batch_size <= 1`` reproduces the original per-sample
+loop draw for draw.  (The estimator math is derived in
+``docs/estimators.md``.)
+
 This yields multiplicative (1±ε) guarantees for *all* graphlets at once
 (Theorem 4) at O(k²) times the clairvoyant-optimal sample count
 (Theorem 6).
@@ -35,10 +51,15 @@ from repro.errors import SamplingError
 from repro.graphlets.enumerate import graphlet_census
 from repro.graphlets.spanning import SigmaCache, spanning_tree_shape_counts
 from repro.sampling.estimates import GraphletEstimates
+from repro.sampling.naive import DEFAULT_BATCH_SIZE
 from repro.sampling.occurrences import GraphletClassifier
 from repro.util.rng import RngLike, ensure_rng
 
 __all__ = ["ags_estimate", "AGSResult", "covering_threshold"]
+
+#: First chunk size after a shape switch (and at startup): small enough
+#: that early covering events still switch shapes promptly.
+_MIN_CHUNK = 32
 
 
 def covering_threshold(epsilon: float, delta: float, k: int) -> int:
@@ -69,6 +90,7 @@ def ags_estimate(
     cover_threshold: int = 300,
     rng: RngLike = None,
     sigma_cache: Optional[SigmaCache] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> AGSResult:
     """Run AGS for ``budget`` samples and return weighted estimates.
 
@@ -86,6 +108,10 @@ def ags_estimate(
         shape switch (paper experiments: 1000; scaled default 300).
     sigma_cache:
         Optional disk-backed σ_ij cache shared across runs.
+    batch_size:
+        Upper bound on the adaptive chunk size (see the module docstring);
+        ``<= 1`` keeps the original per-sample loop.  Runs are
+        deterministic per ``(seed, batch_size)``.
     """
     if budget < 1:
         raise SamplingError("need a positive sampling budget")
@@ -138,21 +164,40 @@ def ags_estimate(
                 best_shape = shape
         return best_shape
 
-    for _ in range(budget):
-        usage[current] += 1
-        vertices, _treelet, _mask = urn.sample_shape(current, rng)
-        bits = classifier.classify(vertices)
-        if bits not in sigma_tables:
-            sigma_tables[bits] = spanning_tree_shape_counts(
-                bits, k, registry, cache=sigma_cache
+    drawn = 0
+    chunk = _MIN_CHUNK
+    while drawn < budget:
+        if batch_size <= 1:
+            usage[current] += 1
+            vertices, _treelet, _mask = urn.sample_shape(current, rng)
+            codes = [classifier.classify(vertices)]
+            drawn += 1
+        else:
+            size = min(chunk, batch_size, budget - drawn)
+            usage[current] += size
+            matrix, _treelets, _masks = urn.sample_shape_batch(
+                current, size, rng
             )
-        hits[bits] = hits.get(bits, 0) + 1
-        if hits[bits] >= cover_threshold and bits not in covered:
-            covered.add(bits)
+            codes = classifier.classify_batch(matrix).tolist()
+            drawn += size
+        newly_covered = False
+        for bits in codes:
+            if bits not in sigma_tables:
+                sigma_tables[bits] = spanning_tree_shape_counts(
+                    bits, k, registry, cache=sigma_cache
+                )
+            hits[bits] = hits.get(bits, 0) + 1
+            if hits[bits] >= cover_threshold and bits not in covered:
+                covered.add(bits)
+                newly_covered = True
+        if newly_covered:
             next_shape = pick_next_shape()
             if next_shape != current:
                 switches += 1
                 current = next_shape
+                chunk = _MIN_CHUNK  # a switch restarts chunk growth
+            continue
+        chunk = min(chunk * 2, batch_size)
 
     if sigma_cache is not None:
         sigma_cache.flush()

@@ -6,15 +6,28 @@ by the sampled vertices yields the graphlet occurrence.  This module does
 that second step: query the ``k(k-1)/2`` candidate edges with the CSR
 binary search, pack them, and canonicalize.
 
-Canonicalization results are memoized globally (by raw packed bits), and
-the per-classifier cache keyed by the *sorted vertex tuple* additionally
-short-circuits repeated samples of the same occurrence, which are frequent
-on skewed graphs.
+Two paths share the machinery:
+
+``classify(vertices)``
+    One vertex set at a time.  Canonicalization results are memoized
+    globally (by raw packed bits), and the per-classifier cache keyed by
+    the *sorted vertex tuple* additionally short-circuits repeated samples
+    of the same occurrence, which are frequent on skewed graphs.
+``classify_batch(vertices_matrix)``
+    The batched sampling engine's inner loop: all ``n × k(k-1)/2``
+    candidate-edge queries run as one packed-edge-key ``searchsorted``
+    (:meth:`repro.graph.graph.Graph.has_edges`), the queries pack into
+    one int64 bit pattern per sample, and canonicalization runs once per
+    *distinct* pattern (``np.unique``) through the same global memo —
+    so a batch costs one sweep plus one canonicalization per novel
+    graphlet, not per sample.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import SamplingError
 from repro.graph.graph import Graph
@@ -34,8 +47,19 @@ class GraphletClassifier:
         self.k = k
         self.cache_limit = cache_limit
         self._by_vertices: Dict[Tuple[int, ...], int] = {}
+        self._canon_by_bits: Dict[int, int] = {}
         self.classified = 0
         self.cache_hits = 0
+        # Upper-triangle pair count; bit of pair p in row-major triu order
+        # is exactly p (pair_index is row-major), so packing is a dot
+        # product with powers of two.  int64 packing needs p < 63.
+        self._num_pairs = k * (k - 1) // 2
+        self._triu = np.triu_indices(k, 1)
+        self._pair_weights = (
+            np.left_shift(np.int64(1), np.arange(self._num_pairs, dtype=np.int64))
+            if self._num_pairs < 63
+            else None
+        )
 
     def induced_bits(self, vertices: Sequence[int]) -> int:
         """Packed adjacency bits of the subgraph induced by ``vertices``."""
@@ -62,7 +86,56 @@ class GraphletClassifier:
         if cached is not None:
             self.cache_hits += 1
             return cached
-        result = canonical_form(self.induced_bits(key), self.k)
+        result = self._canonical_of(self.induced_bits(key))
         if len(self._by_vertices) < self.cache_limit:
             self._by_vertices[key] = result
         return result
+
+    def classify_batch(self, vertices_matrix: np.ndarray) -> np.ndarray:
+        """Canonical graphlet encodings for ``n`` vertex sets at once.
+
+        ``vertices_matrix`` is ``(n, k)`` (any vertex order per row — the
+        canonical form is order-invariant, so results agree element-wise
+        with :meth:`classify` on the same rows).  Returns an ``(n,)``
+        int64 array.  Falls back to the per-row path for ``k > 11``,
+        where the packed pattern no longer fits an int64.
+        """
+        verts = np.asarray(vertices_matrix, dtype=np.int64)
+        if verts.ndim != 2 or verts.shape[1] != self.k:
+            raise SamplingError(
+                f"expected an (n, {self.k}) vertex matrix, got {verts.shape}"
+            )
+        n = verts.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        sorted_rows = np.sort(verts, axis=1)
+        if np.any(sorted_rows[:, 1:] == sorted_rows[:, :-1]):
+            bad = int(np.argmax(
+                (sorted_rows[:, 1:] == sorted_rows[:, :-1]).any(axis=1)
+            ))
+            raise SamplingError(
+                f"vertices are not distinct: {tuple(verts[bad].tolist())}"
+            )
+        self.classified += n
+        if self._pair_weights is None:
+            return np.array(
+                [self._canonical_of(self.induced_bits(tuple(row))) for row in verts.tolist()],
+                dtype=np.int64,
+            )
+        rows, cols = self._triu
+        present = self.graph.has_edges(verts[:, rows], verts[:, cols])
+        patterns = present.astype(np.int64) @ self._pair_weights
+        unique_bits, inverse = np.unique(patterns, return_inverse=True)
+        canon = np.array(
+            [self._canonical_of(int(bits)) for bits in unique_bits],
+            dtype=np.int64,
+        )
+        return canon[inverse]
+
+    def _canonical_of(self, bits: int) -> int:
+        """Canonical form with a per-classifier bit-pattern memo."""
+        cached = self._canon_by_bits.get(bits)
+        if cached is None:
+            cached = canonical_form(bits, self.k)
+            self._canon_by_bits[bits] = cached
+        return cached

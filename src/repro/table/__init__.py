@@ -10,9 +10,11 @@ and ``sample`` in O(k).
 Here :class:`~repro.table.count_table.CountTable` is the motivo-style
 structure (columnar over vertices, sorted by packed key, cumulative sums
 available), :class:`~repro.table.hash_table.HashCountTable` is the CC
-baseline, and :mod:`repro.table.flush` adds greedy flushing to disk with
+baseline, :mod:`repro.table.flush` adds greedy flushing to disk with
 memory-mapped reads (§3.1 "Greedy flushing" and §3.3 "Memory-mapped
-reads").
+reads"), and :mod:`repro.table.layer_store` unifies where finished layers
+live (resident, spilled + memory-mapped, or sharded by vertex range)
+behind one ``LayerStore`` interface.
 """
 
 from repro.table.count_table import CountTable, Layer

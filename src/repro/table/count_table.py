@@ -14,7 +14,9 @@ paper's operations map directly:
 ``sample(v)``         draw R ≤ η_v u.a.r., binary-search the cumulative
                       column — O(k) as in the paper.
 
-The columnar layout is what lets the build-up phase be vectorized, and it
+The columnar layout is what lets both the build-up kernels and the
+batched sampling engine run set-at-a-time (key draws for a whole batch of
+roots are one vectorized sweep over ``cumulative()`` columns), and it
 stores each pair once per vertex exactly like the row layout; cumulative
 sums are materialized per layer on demand (``cumulative()``), reproducing
 the paper's η records.
@@ -230,15 +232,48 @@ class CountTable:
         ``(0, η_v]`` and binary-search the cumulative record.
         """
         rng = ensure_rng(rng)
+        return self.sample_key_at(v, rng.random())
+
+    def sample_key_at(self, v: int, u: float) -> Key:
+        """``sample(v)`` driven by a caller-supplied uniform in ``[0, 1)``.
+
+        Splitting the variate from the draw makes the key choice a pure
+        function of ``u``, which is what lets the batched sampling engine
+        and its per-sample reference path agree bit for bit when both read
+        the same uniform matrix.
+        """
         layer = self.layer(self.k)
         running = layer.cumulative()[:, v]
         total = running[-1] if running.size else 0.0
         if total <= 0:
             raise TableError(f"vertex {v} roots no colorful k-treelets")
-        r = rng.random() * total
+        r = u * total
         row = int(np.searchsorted(running, r, side="right"))
         row = min(row, running.size - 1)
         return layer.keys[row]
+
+    def sample_key_rows_batch(self, roots: np.ndarray, us: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample_key_at`: one size-k key row per root.
+
+        For each ``(roots[i], us[i])`` pair, returns the row index into the
+        size-k layer that the scalar path would pick — ``searchsorted``
+        over every root's cumulative record at once.  The scalar rule
+        ``searchsorted(running, u*total, side="right")`` equals the count
+        of running values ``<= r``, which vectorizes as a column-wise
+        comparison; count columns hold integer-valued floats, so the
+        comparison is exact and the two paths cannot disagree.
+        """
+        layer = self.layer(self.k)
+        if layer.num_keys == 0:
+            raise TableError("the size-k layer is empty")
+        columns = layer.cumulative()[:, roots]
+        totals = columns[-1]
+        if np.any(totals <= 0):
+            bad = int(np.asarray(roots)[np.argmax(totals <= 0)])
+            raise TableError(f"vertex {bad} roots no colorful k-treelets")
+        targets = us * totals
+        rows = (columns <= targets[None, :]).sum(axis=0)
+        return np.minimum(rows, layer.num_keys - 1)
 
     def root_weights(self) -> np.ndarray:
         """Per-vertex total k-treelet counts (the alias-table weights)."""

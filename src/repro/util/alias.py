@@ -113,6 +113,26 @@ class AliasSampler:
         out[take_alias] = self._alias[columns[take_alias]]
         return out
 
+    def pick_from_uniforms(
+        self, u_column: "np.ndarray | float", u_coin: "np.ndarray | float"
+    ) -> np.ndarray:
+        """Alias draws driven by caller-supplied uniforms in ``[0, 1)``.
+
+        ``u_column`` selects the column (``floor(u * n)``) and ``u_coin``
+        plays the coin, so the draw is a pure function of its inputs —
+        the primitive behind the batched sampling engine's fixed-width
+        uniform-matrix draw discipline, where the per-sample and batched
+        paths must make bit-identical decisions from the same variates.
+        Accepts scalars or arrays of any matching shape; returns int64.
+        """
+        u_column = np.asarray(u_column, dtype=np.float64)
+        u_coin = np.asarray(u_coin, dtype=np.float64)
+        column = np.minimum(
+            (u_column * self._n).astype(np.int64), self._n - 1
+        )
+        take_alias = u_coin >= self._prob[column]
+        return np.where(take_alias, self._alias[column], column)
+
     def probabilities(self) -> np.ndarray:
         """Return the exact sampling distribution implied by the table.
 

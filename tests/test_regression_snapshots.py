@@ -50,15 +50,18 @@ class TestBuildSnapshots:
 
 class TestEstimateSnapshots:
     def test_naive_top3(self):
+        """Constants regenerated when batched sampling became the default
+        draw path (the uniform-matrix discipline consumes the generator
+        differently from the old scalar stream — an intentional change)."""
         graph = load_dataset("facebook")
         counter = MotivoCounter(graph, MotivoConfig(k=4, seed=777))
         counter.build()
         estimates = counter.sample_naive(2000)
         top3 = [(bits, round(value, 1)) for bits, value in estimates.top(3)]
         assert top3 == [
-            (0x32, 741_009.6),
-            (0x34, 620_801.4),
-            (0x36, 79_041.0),
+            (0x32, 743_479.6),
+            (0x34, 606_804.5),
+            (0x36, 78_217.7),
         ]
         assert sum(estimates.hits.values()) == 2000
 

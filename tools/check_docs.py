@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Link-check the repository's markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and inline
+references to repository files, and fails when a *relative* link target
+does not exist (external ``http(s)``/``mailto`` links are not fetched —
+this checker is offline by design, it guards against docs rotting as
+files move).  Anchors (``#section``) are stripped before the existence
+check; pure-anchor links are skipped.
+
+Run from anywhere: paths resolve against the repository root (the parent
+of this file's directory).  Exit status 0 = all links resolve.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target) — excluding images' alt syntax
+#: is unnecessary, image targets must exist too.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> "list[Path]":
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(path: Path) -> "list[str]":
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue  # intra-document anchor
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            errors.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: broken link "
+                f"-> {target}"
+            )
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    if not files:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 1
+    errors = [error for path in files for error in check_file(path)]
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
+    if errors:
+        print(f"check_docs: {len(errors)} broken link(s) in {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: all relative links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
