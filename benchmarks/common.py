@@ -51,23 +51,33 @@ def emit(name: str, text: str) -> None:
         handle.write(text + "\n")
 
 
+def _write_atomic(path: str, text: str) -> None:
+    """Write via a same-directory temp file + rename, so a crashed or
+    concurrent benchmark never leaves a torn JSON document behind."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
 def emit_json(name: str, payload: dict, also_repo_root: bool = False) -> str:
     """Persist a machine-readable benchmark result.
 
     Writes ``benchmarks/results/<name>.json``; with ``also_repo_root`` the
     same document additionally lands at the repository root (tracked
-    trajectory files such as ``BENCH_buildup.json``).  Returns the results
+    trajectory files such as ``BENCH_buildup.json``).  Both copies are
+    rendered once and written atomically (temp file + rename), so the two
+    locations cannot diverge within a run and an interrupted run cannot
+    leave a half-written document in either place.  Returns the results
     path.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    with open(path, "w") as handle:
-        handle.write(text)
+    _write_atomic(path, text)
     if also_repo_root:
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        with open(os.path.join(root, f"{name}.json"), "w") as handle:
-            handle.write(text)
+        _write_atomic(os.path.join(root, f"{name}.json"), text)
     print(f"\n===== {name}.json =====")
     print(text)
     return path

@@ -12,11 +12,15 @@ pure Python/NumPy.
 Public entry points
 -------------------
 :class:`MotivoCounter` / :class:`MotivoConfig`
-    The end-to-end pipeline.
+    The end-to-end pipeline (``from_artifact`` reopens a persisted
+    build; ``artifact_dir`` routes builds through the artifact cache).
 :mod:`repro.graph`
     Graph type, loaders, generators, and the paper-surrogate datasets.
 :mod:`repro.sampling`
     Naive and AGS estimators plus the paper's error metrics.
+:mod:`repro.artifacts`
+    Persistent table artifacts: build once, sample many
+    (``docs/artifacts.md`` specifies the on-disk format).
 :mod:`repro.exact`
     Exact ground-truth counting (ESU) for validation.
 
@@ -26,6 +30,7 @@ estimator math; ``benchmarks/`` holds the table/figure reproductions.
 """
 
 from repro.errors import (
+    ArtifactError,
     BuildError,
     ColorError,
     GraphError,
@@ -53,6 +58,7 @@ __all__ = [
     "MergeError",
     "ColorError",
     "TableError",
+    "ArtifactError",
     "BuildError",
     "SamplingError",
     "__version__",

@@ -1,0 +1,223 @@
+"""Blob codecs for persisted count-table layers.
+
+A layer on disk is two blobs: a **key blob** and a **count blob**.  Keys
+are always stored the same way — motivo's 48-bit packed colored-treelet
+keys (§3.1): ``packed = (s_T << k) | mask``, which needs ``2(k-1)`` bits
+for the DFS string plus ``k`` for the color mask, i.e. ``3k - 2 ≤ 46``
+bits for every supported ``k ≤ 16``, laid out as fixed six-byte
+little-endian records.  Count blobs come in two codecs:
+
+``dense``
+    The raw ``num_keys × n`` float64 matrix as an ``.npy`` file.  Reopens
+    through ``numpy.memmap`` (via ``np.load(mmap_mode="r")``), so the
+    sampling phase pages counts in lazily without ever materializing the
+    matrix — the §3.3 read path.  Costs 64 bits per *cell*, which can be
+    far more than 64 bits per stored *pair* on sparse layers.
+
+``succinct``
+    Sparse delta/varint encoding benchmarked against the paper's
+    176-bits-per-pair costing: per key row, the number of nonzero columns,
+    then the column indices gap-encoded (first absolute, rest deltas) and
+    the counts themselves, all as LEB128 varints.  Counts produced by the
+    build-up are integer-valued floats (exact in float64 below 2^53), so
+    the varint round-trip is lossless; the codec refuses non-integer
+    input.  The three varint streams (row lengths, gaps, counts) are
+    concatenated, with their byte lengths recorded in the manifest so
+    decoding is three vectorized passes.  Opening a succinct layer
+    materializes the dense matrix — the codec trades the memmap property
+    for bytes on disk.
+
+Every encoder/decoder here is array-at-a-time: varint packing and
+unpacking loop over *byte positions* (at most ten), never over values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ArtifactError
+
+__all__ = [
+    "KEY_BYTES",
+    "CODECS",
+    "pack_keys",
+    "unpack_keys",
+    "encode_varints",
+    "decode_varints",
+    "encode_counts_succinct",
+    "decode_counts_succinct",
+]
+
+Key = Tuple[int, int]
+
+#: Fixed width of one packed key record (motivo's 48-bit keys).
+KEY_BYTES = 6
+
+#: Supported count-blob codecs.
+CODECS = ("dense", "succinct")
+
+
+# ----------------------------------------------------------------------
+# 48-bit packed keys
+# ----------------------------------------------------------------------
+
+
+def pack_keys(keys: Sequence[Key], k: int) -> bytes:
+    """Pack ``(treelet, mask)`` keys into 48-bit little-endian records."""
+    if not 2 <= k <= 16:
+        raise ArtifactError(f"packed keys support 2 <= k <= 16, got {k}")
+    if not keys:
+        return b""
+    array = np.asarray(keys, dtype=np.uint64).reshape(len(keys), 2)
+    mask_limit = np.uint64(1) << np.uint64(k)
+    if (array[:, 1] >= mask_limit).any():
+        raise ArtifactError(f"color mask does not fit in {k} bits")
+    packed = (array[:, 0] << np.uint64(k)) | array[:, 1]
+    if (packed >> np.uint64(8 * KEY_BYTES)).any():
+        raise ArtifactError("packed key does not fit in 48 bits")
+    as_bytes = packed.astype("<u8").view(np.uint8).reshape(-1, 8)
+    return np.ascontiguousarray(as_bytes[:, :KEY_BYTES]).tobytes()
+
+
+def unpack_keys(blob: bytes, k: int, count: int) -> List[Key]:
+    """Inverse of :func:`pack_keys`: 48-bit records back to key tuples."""
+    if len(blob) != count * KEY_BYTES:
+        raise ArtifactError(
+            f"key blob holds {len(blob)} bytes, expected {count * KEY_BYTES}"
+        )
+    if count == 0:
+        return []
+    records = np.frombuffer(blob, dtype=np.uint8).reshape(count, KEY_BYTES)
+    padded = np.zeros((count, 8), dtype=np.uint8)
+    padded[:, :KEY_BYTES] = records
+    packed = padded.view("<u8").reshape(count)
+    masks = packed & ((np.uint64(1) << np.uint64(k)) - np.uint64(1))
+    treelets = packed >> np.uint64(k)
+    return list(zip(treelets.astype(np.int64).tolist(),
+                    masks.astype(np.int64).tolist()))
+
+
+# ----------------------------------------------------------------------
+# Vectorized LEB128 varints
+# ----------------------------------------------------------------------
+
+
+def encode_varints(values: np.ndarray) -> bytes:
+    """LEB128-encode an array of non-negative integers, set-at-a-time."""
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    if v.size == 0:
+        return b""
+    nbytes = np.ones(v.shape, dtype=np.int64)
+    shifted = v >> np.uint64(7)
+    while shifted.any():
+        nbytes += shifted != 0
+        shifted = shifted >> np.uint64(7)
+    offsets = np.cumsum(nbytes) - nbytes
+    out = np.empty(int(nbytes.sum()), dtype=np.uint8)
+    for j in range(int(nbytes.max())):
+        sel = nbytes > j
+        byte = ((v[sel] >> np.uint64(7 * j)) & np.uint64(0x7F)).astype(np.uint8)
+        byte |= (nbytes[sel] - 1 > j).astype(np.uint8) << np.uint8(7)
+        out[offsets[sel] + j] = byte
+    return out.tobytes()
+
+
+def decode_varints(blob: bytes, count: int) -> np.ndarray:
+    """Decode exactly ``count`` LEB128 varints spanning the whole blob."""
+    data = np.frombuffer(blob, dtype=np.uint8)
+    if count == 0:
+        if data.size:
+            raise ArtifactError("varint blob has trailing bytes")
+        return np.zeros(0, dtype=np.uint64)
+    ends = np.flatnonzero((data & 0x80) == 0)
+    if ends.size != count or (data.size and int(ends[-1]) != data.size - 1):
+        raise ArtifactError(
+            f"varint blob holds {ends.size} values, expected {count}"
+        )
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if int(lengths.max()) > 10:
+        raise ArtifactError("varint longer than 10 bytes (corrupt blob)")
+    values = np.zeros(count, dtype=np.uint64)
+    for j in range(int(lengths.max())):
+        sel = lengths > j
+        chunk = data[starts[sel] + j].astype(np.uint64) & np.uint64(0x7F)
+        values[sel] |= chunk << np.uint64(7 * j)
+    return values
+
+
+# ----------------------------------------------------------------------
+# Succinct count blobs (delta/varint)
+# ----------------------------------------------------------------------
+
+
+def encode_counts_succinct(counts: np.ndarray) -> Tuple[bytes, List[int]]:
+    """Encode a dense count matrix as the three-section succinct blob.
+
+    Returns ``(blob, section_lengths)`` where the blob is the
+    concatenation of the row-length, column-gap and count varint streams
+    and ``section_lengths`` records each stream's byte length (stored in
+    the manifest — the decoder needs them to split the blob).
+    """
+    matrix = np.asarray(counts, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ArtifactError("succinct codec encodes 2-D count matrices")
+    rows, cols = np.nonzero(matrix)
+    values = matrix[rows, cols]
+    as_ints = values.astype(np.uint64)
+    if not np.array_equal(as_ints.astype(np.float64), values):
+        raise ArtifactError(
+            "succinct codec requires integer-valued counts below 2^53"
+        )
+    row_nnz = np.bincount(rows, minlength=matrix.shape[0]).astype(np.uint64)
+    # Gap-encode column indices within each row: the first entry is the
+    # absolute column, later entries store the distance to their left
+    # neighbor (np.nonzero yields row-major order, so columns ascend
+    # within a row and every gap is non-negative).
+    gaps = cols.astype(np.int64).copy()
+    if gaps.size:
+        same_row = np.zeros(gaps.size, dtype=bool)
+        same_row[1:] = rows[1:] == rows[:-1]
+        gaps[1:] -= np.where(same_row[1:], cols[:-1], 0)
+    sections = [
+        encode_varints(row_nnz),
+        encode_varints(gaps.astype(np.uint64)),
+        encode_varints(as_ints),
+    ]
+    return b"".join(sections), [len(section) for section in sections]
+
+
+def decode_counts_succinct(
+    blob: bytes,
+    sections: Sequence[int],
+    num_keys: int,
+    num_vertices: int,
+) -> np.ndarray:
+    """Inverse of :func:`encode_counts_succinct`: rebuild the dense matrix."""
+    if len(sections) != 3 or sum(sections) != len(blob):
+        raise ArtifactError("succinct blob sections do not cover the blob")
+    first, second, _third = sections
+    row_nnz = decode_varints(blob[:first], num_keys).astype(np.int64)
+    pairs = int(row_nnz.sum())
+    gaps = decode_varints(blob[first:first + second], pairs).astype(np.int64)
+    values = decode_varints(blob[first + second:], pairs)
+    dense = np.zeros((num_keys, num_vertices), dtype=np.float64)
+    if pairs == 0:
+        return dense
+    row_index = np.repeat(np.arange(num_keys, dtype=np.int64), row_nnz)
+    running = np.cumsum(gaps)
+    row_starts = np.cumsum(row_nnz) - row_nnz
+    # Undo the global cumsum at each row boundary so gaps restart per row
+    # (empty rows have no entries, so only nonempty starts are indexed).
+    nonempty = row_nnz > 0
+    starts = row_starts[nonempty]
+    base = running[starts] - gaps[starts]
+    columns = running - np.repeat(base, row_nnz[nonempty])
+    if columns.min() < 0 or columns.max() >= num_vertices:
+        raise ArtifactError("succinct blob addresses columns out of range")
+    dense[row_index, columns] = values.astype(np.float64)
+    return dense

@@ -1,0 +1,450 @@
+"""Save/open one count table as a versioned on-disk artifact.
+
+This is the paper's defining systems split made durable: the expensive
+build-up phase runs **once** and leaves a self-describing directory on
+disk; any number of later sampling runs reopen it — dense count blobs
+through ``numpy.memmap`` — and answer queries without rebuilding.
+
+Directory layout (one table artifact)::
+
+    <dir>/
+      manifest.json        format/version, graph fingerprint, build
+                           parameters, per-layer blob index + digests,
+                           post-build RNG state, instrumentation snapshot
+      coloring.npy         per-vertex colors (uint8)
+      layer_<h>.keys.bin   48-bit packed keys, key-sorted
+      layer_<h>.counts.npy dense codec: float64 matrix (memmap-reopened)
+      layer_<h>.counts.bin succinct codec: delta/varint blob
+
+The manifest is the contract: :func:`open_table` refuses artifacts whose
+format name/version it does not understand, whose manifest does not
+parse, or whose graph fingerprint differs from the graph in hand — each
+with a typed :class:`~repro.errors.ArtifactError`.  Layer digests are
+checked on demand (``verify=True``), not on every open, so the warm path
+stays metadata-speed.
+
+Saving the post-build RNG state is what makes *build once, sample many*
+bit-compatible with the one-shot pipeline: a counter restored from the
+artifact resumes the master stream exactly where a fresh build would
+have left it, so fixed-seed estimates agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.artifacts.codec import (
+    CODECS,
+    encode_counts_succinct,
+    decode_counts_succinct,
+    pack_keys,
+    unpack_keys,
+)
+from repro.colorcoding.coloring import ColoringScheme
+from repro.errors import ArtifactError
+from repro.graph.graph import Graph
+from repro.table.count_table import CountTable, Layer
+from repro.util.instrument import Instrumentation
+
+__all__ = [
+    "FORMAT_VERSION",
+    "TABLE_FORMAT",
+    "TableArtifact",
+    "save_table",
+    "open_table",
+    "load_manifest",
+    "file_digest",
+]
+
+#: Manifest ``format`` tag of a single-table artifact.
+TABLE_FORMAT = "motivo-table-artifact"
+#: Current on-disk format version; bumped on any incompatible change.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+COLORING_NAME = "coloring.npy"
+
+
+def file_digest(path: str) -> str:
+    """``sha256:<hex>`` digest of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return f"sha256:{digest.hexdigest()}"
+
+
+def load_manifest(directory: str) -> dict:
+    """Read and structurally validate an artifact manifest.
+
+    Raises :class:`~repro.errors.ArtifactError` when the manifest is
+    missing, fails to parse, or lacks the required fields — the
+    "corrupted manifest" error path.  Version checking is the caller's
+    job (:func:`open_table` for tables, the ensemble loader for
+    bundles), because the two formats version independently.
+    """
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.isfile(path):
+        raise ArtifactError(f"no artifact manifest at {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (ValueError, OSError) as error:
+        raise ArtifactError(f"corrupted artifact manifest {path}: {error}") from None
+    if not isinstance(manifest, dict) or "format" not in manifest \
+            or "format_version" not in manifest:
+        raise ArtifactError(f"corrupted artifact manifest {path}: missing format fields")
+    return manifest
+
+
+def _require_version(manifest: dict, expected_format: str) -> None:
+    if manifest["format"] != expected_format:
+        raise ArtifactError(
+            f"artifact format {manifest['format']!r} is not {expected_format!r}"
+        )
+    version = manifest["format_version"]
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact format version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+
+def _check_graph(manifest: dict, graph: Graph) -> None:
+    recorded = manifest.get("graph", {})
+    fingerprint = recorded.get("fingerprint")
+    if fingerprint != graph.fingerprint():
+        raise ArtifactError(
+            "artifact was built from a different graph: manifest records "
+            f"{fingerprint!r} (n={recorded.get('num_vertices')}, "
+            f"m={recorded.get('num_edges')}), got {graph.fingerprint()!r} "
+            f"(n={graph.num_vertices}, m={graph.num_edges})"
+        )
+
+
+class TableArtifact:
+    """An opened (or just-saved) table artifact.
+
+    Attributes
+    ----------
+    directory, manifest:
+        Where the artifact lives and its parsed manifest.
+    table:
+        The :class:`~repro.table.count_table.CountTable` — dense layers
+        are memory-mapped, succinct layers decoded.  ``None`` until the
+        artifact is opened with a graph.
+    coloring:
+        The :class:`~repro.colorcoding.coloring.ColoringScheme` the table
+        was built under.
+    rng_state:
+        Post-build bit-generator state of the master stream, or ``None``
+        when the build ran without a recorded state.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        manifest: dict,
+        table: Optional[CountTable] = None,
+        coloring: Optional[ColoringScheme] = None,
+    ):
+        self.directory = directory
+        self.manifest = manifest
+        self.table = table
+        self.coloring = coloring
+
+    @property
+    def k(self) -> int:
+        """Motif size of the stored table."""
+        return int(self.manifest["k"])
+
+    @property
+    def codec(self) -> str:
+        """Count-blob codec (``dense`` or ``succinct``)."""
+        return str(self.manifest["codec"])
+
+    @property
+    def rng_state(self) -> Optional[dict]:
+        """Recorded post-build RNG state (see module docstring)."""
+        return self.manifest.get("rng_state")
+
+    @property
+    def build(self) -> dict:
+        """The build-parameter section of the manifest."""
+        return dict(self.manifest.get("build", {}))
+
+    @property
+    def source(self) -> Optional[str]:
+        """Graph-source hint recorded at save time (CLI convenience)."""
+        return self.manifest.get("graph", {}).get("source")
+
+    def total_pairs(self) -> int:
+        """Stored (key, vertex) pairs with positive counts."""
+        return int(self.manifest.get("total_pairs", 0))
+
+    def payload_bytes(self) -> int:
+        """Bytes of all key/count/coloring blobs (manifest excluded)."""
+        return int(self.manifest.get("payload_bytes", 0))
+
+    def bits_per_pair(self) -> float:
+        """Measured storage cost in bits per stored pair."""
+        pairs = self.total_pairs()
+        return 8.0 * self.payload_bytes() / pairs if pairs else 0.0
+
+    def verify(self) -> None:
+        """Recompute every blob digest against the manifest.
+
+        Raises :class:`~repro.errors.ArtifactError` on the first
+        mismatch or missing blob; returns silently when the artifact is
+        intact.
+        """
+        try:
+            blobs = [self.manifest.get("coloring", {})]
+            for layer in self.manifest.get("layers", []):
+                blobs.append(layer["keys"])
+                blobs.append(layer["counts"])
+            blobs = [
+                (blob["file"], int(blob["bytes"]), blob["digest"])
+                for blob in blobs
+            ]
+        except (KeyError, TypeError) as error:
+            raise ArtifactError(
+                f"corrupted artifact manifest in {self.directory}: "
+                f"blob entry missing {error!r}"
+            ) from None
+        for name, expected_bytes, expected_digest in blobs:
+            path = os.path.join(self.directory, name)
+            if not os.path.isfile(path):
+                raise ArtifactError(f"artifact blob missing: {path}")
+            if os.path.getsize(path) != expected_bytes:
+                raise ArtifactError(
+                    f"artifact blob {path} is {os.path.getsize(path)} bytes, "
+                    f"manifest says {expected_bytes}"
+                )
+            digest = file_digest(path)
+            if digest != expected_digest:
+                raise ArtifactError(
+                    f"artifact blob {path} digest mismatch: {digest} != "
+                    f"{expected_digest}"
+                )
+
+
+def _blob_entry(directory: str, name: str) -> Dict[str, object]:
+    path = os.path.join(directory, name)
+    return {
+        "file": name,
+        "bytes": os.path.getsize(path),
+        "digest": file_digest(path),
+    }
+
+
+def save_table(
+    directory: str,
+    table: CountTable,
+    coloring: ColoringScheme,
+    graph: Graph,
+    codec: str = "dense",
+    build: Optional[dict] = None,
+    rng_state: Optional[dict] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    source: Optional[str] = None,
+) -> TableArtifact:
+    """Persist a finished count table as an artifact directory.
+
+    Parameters
+    ----------
+    directory:
+        Target directory (created if needed; existing blobs overwritten).
+    table, coloring, graph:
+        The build-up output, the coloring it ran under, and the host
+        graph (only its fingerprint and sizes are recorded — artifacts
+        do not store the graph itself).
+    codec:
+        ``"dense"`` (memmap-reopened float64 ``.npy``, the default) or
+        ``"succinct"`` (48-bit keys + delta/varint counts).
+    build:
+        Build-parameter dict recorded verbatim (the facade stores its
+        ``MotivoConfig`` here so :meth:`MotivoCounter.from_artifact` can
+        reconstruct an equivalent counter).
+    rng_state:
+        Post-build master-stream state for bit-compatible resumption.
+    instrumentation:
+        Build-phase counters/timers, stored as a snapshot.
+    source:
+        Optional graph-source hint (a path or dataset name) for CLI
+        convenience; never trusted over the fingerprint.
+    """
+    if codec not in CODECS:
+        raise ArtifactError(f"unknown codec {codec!r}; choose from {CODECS}")
+    if coloring.num_vertices != table.num_vertices:
+        raise ArtifactError(
+            f"coloring covers {coloring.num_vertices} vertices, table has "
+            f"{table.num_vertices}"
+        )
+    os.makedirs(directory, exist_ok=True)
+    # Re-saving into an existing artifact directory: drop the old
+    # manifest FIRST — a crash mid-save must leave a directory that
+    # fails loud ("no artifact manifest"), never an old manifest
+    # pointing at new blob bytes — then clear stale blobs (a codec or k
+    # change renames the count files, and leftovers would silently
+    # diverge from the manifest's byte accounting).
+    try:
+        os.remove(os.path.join(directory, MANIFEST_NAME))
+    except OSError:
+        pass
+    for name in os.listdir(directory):
+        if name.startswith("layer_") or name == COLORING_NAME:
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
+
+    colors = np.asarray(coloring.colors, dtype=np.uint8)
+    np.save(os.path.join(directory, COLORING_NAME), colors)
+
+    layers: List[dict] = []
+    total_pairs = 0
+    payload = 0
+    for size in range(1, table.k + 1):
+        layer = table.layer(size)
+        keys_name = f"layer_{size}.keys.bin"
+        with open(os.path.join(directory, keys_name), "wb") as handle:
+            handle.write(pack_keys(layer.keys, table.k))
+        entry: Dict[str, object] = {
+            "size": size,
+            "num_keys": layer.num_keys,
+            "pairs": layer.nonzero_pairs(),
+            "keys": _blob_entry(directory, keys_name),
+        }
+        if codec == "dense":
+            counts_name = f"layer_{size}.counts.npy"
+            np.save(
+                os.path.join(directory, counts_name),
+                np.ascontiguousarray(layer.counts, dtype=np.float64),
+            )
+            entry["counts"] = _blob_entry(directory, counts_name)
+        else:
+            counts_name = f"layer_{size}.counts.bin"
+            blob, sections = encode_counts_succinct(layer.counts)
+            with open(os.path.join(directory, counts_name), "wb") as handle:
+                handle.write(blob)
+            entry["counts"] = _blob_entry(directory, counts_name)
+            entry["counts"]["sections"] = sections
+        total_pairs += entry["pairs"]
+        payload += entry["keys"]["bytes"] + entry["counts"]["bytes"]
+        layers.append(entry)
+
+    coloring_entry = _blob_entry(directory, COLORING_NAME)
+    payload += coloring_entry["bytes"]
+    manifest = {
+        "format": TABLE_FORMAT,
+        "format_version": FORMAT_VERSION,
+        "created_at": time.time(),
+        "graph": {
+            "fingerprint": graph.fingerprint(),
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            **({"source": source} if source else {}),
+        },
+        "k": table.k,
+        "zero_rooted": table.zero_rooted,
+        "codec": codec,
+        "coloring": {**coloring_entry, "lam": coloring.lam},
+        "build": dict(build or {}),
+        "rng_state": rng_state,
+        "instrumentation": (
+            instrumentation.snapshot() if instrumentation else {}
+        ),
+        "layers": layers,
+        "total_pairs": total_pairs,
+        "payload_bytes": payload,
+    }
+    _write_manifest(directory, manifest)
+    return TableArtifact(directory, manifest, table, coloring)
+
+
+def _write_manifest(directory: str, manifest: dict) -> None:
+    """Write the manifest atomically (tmp file + rename)."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def open_table(
+    directory: str,
+    graph: Graph,
+    mmap: bool = True,
+    verify: bool = False,
+) -> TableArtifact:
+    """Reopen a saved table artifact against its host graph.
+
+    Dense count blobs come back memory-mapped (``mmap=True``), so no
+    count is materialized until the sampling phase touches it; succinct
+    blobs are decoded to dense matrices.  Raises a typed
+    :class:`~repro.errors.ArtifactError` on a corrupted manifest,
+    format-version skew, or graph-fingerprint mismatch; ``verify=True``
+    additionally recomputes every blob digest before loading.
+    """
+    manifest = load_manifest(directory)
+    _require_version(manifest, TABLE_FORMAT)
+    _check_graph(manifest, graph)
+    artifact = TableArtifact(directory, manifest)
+    if verify:
+        artifact.verify()
+
+    codec = manifest.get("codec")
+    if codec not in CODECS:
+        raise ArtifactError(f"manifest names unknown codec {codec!r}")
+    k = int(manifest["k"])
+    try:
+        colors = np.load(os.path.join(directory, COLORING_NAME))
+        coloring = ColoringScheme(
+            k=k,
+            colors=colors.astype(np.int64),
+            lam=manifest["coloring"].get("lam"),
+        )
+        table = CountTable(k, graph.num_vertices, bool(manifest["zero_rooted"]))
+        for entry in manifest["layers"]:
+            size = int(entry["size"])
+            num_keys = int(entry["num_keys"])
+            keys_path = os.path.join(directory, entry["keys"]["file"])
+            with open(keys_path, "rb") as handle:
+                keys = unpack_keys(handle.read(), k, num_keys)
+            counts_path = os.path.join(directory, entry["counts"]["file"])
+            if codec == "dense":
+                counts = np.load(
+                    counts_path, mmap_mode="r" if mmap else None
+                )
+                if counts.shape != (num_keys, graph.num_vertices):
+                    raise ArtifactError(
+                        f"layer {size} counts have shape {counts.shape}, "
+                        f"expected ({num_keys}, {graph.num_vertices})"
+                    )
+            else:
+                with open(counts_path, "rb") as handle:
+                    blob = handle.read()
+                counts = decode_counts_succinct(
+                    blob, entry["counts"]["sections"],
+                    num_keys, graph.num_vertices,
+                )
+            table.set_layer(Layer(size, keys, counts))
+    except (KeyError, TypeError) as error:
+        raise ArtifactError(
+            f"corrupted artifact manifest in {directory}: {error!r}"
+        ) from None
+    except (OSError, ValueError) as error:
+        raise ArtifactError(
+            f"unreadable artifact blob in {directory}: {error}"
+        ) from None
+    artifact.table = table
+    artifact.coloring = coloring
+    return artifact

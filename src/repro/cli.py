@@ -6,7 +6,15 @@ this CLI mirrors that workflow:
 ``motivo-py generate <dataset> out.txt``
     Write one of the surrogate datasets as an edge list.
 ``motivo-py count <graph> --k 5 [--ags] [--samples N]``
-    End to end: load, build, sample, print the estimated motif table.
+    End to end: load, build, sample, print the estimated motif table
+    (one-shot; nothing persists).
+``motivo-py build <graph> --k 5 --seed 7 --output DIR``
+    Run the build-up phase once and persist the count table (or, with
+    ``--colorings N``, the whole ensemble) as an on-disk artifact.
+``motivo-py sample <artifact> --samples N [--naive | --ags]``
+    Reopen a persisted artifact — dense layers memory-mapped, no
+    rebuild — and print estimates.  With the seed fixed at build time
+    the output is bit-identical to a one-shot ``count``.
 ``motivo-py exact <graph> --k 4``
     Exact ESU counts (small graphs only).
 ``motivo-py info <graph>``
@@ -96,6 +104,108 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the estimates as JSON to this path",
     )
 
+    build = commands.add_parser(
+        "build",
+        help="build once: persist the count table(s) as an on-disk artifact",
+    )
+    build.add_argument("graph", help="edge list (.txt), binary (.npz), or dataset name")
+    build.add_argument("--k", type=int, default=5, help="motif size (default 5)")
+    build.add_argument(
+        "--seed", type=int, default=None,
+        help="master seed (fix it to make later sample runs bit-identical "
+             "to a one-shot count)",
+    )
+    build.add_argument(
+        "--output", "-o", required=True,
+        help="artifact directory to write",
+    )
+    build.add_argument(
+        "--codec", choices=["dense", "succinct"], default="dense",
+        help="count-blob codec: dense reopens memory-mapped, succinct is "
+             "smallest on disk (default dense)",
+    )
+    build.add_argument(
+        "--colorings", type=int, default=1,
+        help="build an ensemble artifact bundling this many independent "
+             "colorings (default 1: a single table artifact)",
+    )
+    build.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for an ensemble build (default serial)",
+    )
+    build.add_argument(
+        "--kernel", choices=["batched", "legacy"], default="batched",
+        help="build-up kernel (legacy = per-key correctness oracle)",
+    )
+    build.add_argument(
+        "--biased-lambda", type=float, default=None,
+        help="biased-coloring λ (§3.4); omit for uniform coloring",
+    )
+    build.add_argument(
+        "--no-zero-rooting", action="store_true",
+        help="disable the §3.2 optimization",
+    )
+    build.add_argument(
+        "--spill-dir", default=None,
+        help="greedy-flush layers here during the build",
+    )
+
+    sample = commands.add_parser(
+        "sample",
+        help="sample many: estimate motifs from a persisted artifact, "
+             "no rebuild",
+    )
+    sample.add_argument("artifact", help="artifact directory written by build")
+    sample.add_argument(
+        "--graph", default=None,
+        help="host graph (path or dataset name); defaults to the source "
+             "recorded in the artifact manifest",
+    )
+    sample.add_argument("--samples", type=int, default=20000, help="sampling budget")
+    estimator = sample.add_mutually_exclusive_group()
+    estimator.add_argument(
+        "--naive", action="store_true",
+        help="CC-style naive sampling (the default)",
+    )
+    estimator.add_argument(
+        "--ags", action="store_true", help="use adaptive graphlet sampling"
+    )
+    sample.add_argument(
+        "--cover-threshold", type=int, default=300,
+        help="AGS covering threshold c̄ (default 300)",
+    )
+    sample.add_argument(
+        "--seed", type=int, default=None,
+        help="reseed the sampling stream (table artifacts only); by "
+             "default the stream resumes from the state recorded at "
+             "build time, reproducing a one-shot count bit for bit",
+    )
+    sample.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes when sampling an ensemble artifact",
+    )
+    sample.add_argument(
+        "--batch-size", type=int, default=None,
+        help="samples per vectorized sampling chunk; <=1 disables "
+             "batching (default: the value recorded at build time, "
+             f"which keeps sample bit-identical to count; else "
+             f"{DEFAULT_BATCH_SIZE})",
+    )
+    sample.add_argument(
+        "--verify", action="store_true",
+        help="recompute blob digests (every member, for ensembles) "
+             "before sampling",
+    )
+    sample.add_argument("--top", type=int, default=20, help="rows to print")
+    sample.add_argument(
+        "--noninduced", action="store_true",
+        help="also derive non-induced copy counts (§1 conversion)",
+    )
+    sample.add_argument(
+        "--output", default=None,
+        help="write the estimates as JSON to this path",
+    )
+
     exact = commands.add_parser("exact", help="exact ESU counts (small graphs)")
     exact.add_argument("graph")
     exact.add_argument("--k", type=int, default=4)
@@ -168,6 +278,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_estimates(estimates, top: int, noninduced: bool, output) -> None:
+    """Shared tail of ``count`` and ``sample``: table, conversions, JSON."""
+    k = estimates.k
+    print(
+        f"distinct graphlets observed: {estimates.distinct_graphlets()}; "
+        f"estimated total copies: {estimates.total:.3e}"
+    )
+    _print_counts(estimates.top(top), k, estimates.total)
+    if noninduced:
+        from repro.graphlets.noninduced import noninduced_counts
+
+        derived = noninduced_counts(estimates.counts, k)
+        total = sum(derived.values())
+        print("\nderived non-induced copy counts:")
+        ranked = sorted(derived.items(), key=lambda kv: -kv[1])[:top]
+        _print_counts(ranked, k, total)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(estimates.to_json())
+        print(f"estimates written to {output}")
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     config = MotivoConfig(
@@ -183,23 +315,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         estimates = _run_ensemble(graph, config, args)
     else:
         estimates = _run_single(graph, config, args)
-    print(
-        f"distinct graphlets observed: {estimates.distinct_graphlets()}; "
-        f"estimated total copies: {estimates.total:.3e}"
-    )
-    _print_counts(estimates.top(args.top), args.k, estimates.total)
-    if args.noninduced:
-        from repro.graphlets.noninduced import noninduced_counts
-
-        derived = noninduced_counts(estimates.counts, args.k)
-        total = sum(derived.values())
-        print("\nderived non-induced copy counts:")
-        ranked = sorted(derived.items(), key=lambda kv: -kv[1])[: args.top]
-        _print_counts(ranked, args.k, total)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(estimates.to_json())
-        print(f"estimates written to {args.output}")
+    _report_estimates(estimates, args.top, args.noninduced, args.output)
     return 0
 
 
@@ -251,6 +367,126 @@ def _run_ensemble(graph, config, args):
         f"{inst.timings['buildup']:.2f}s total build)"
     )
     return result.estimates
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    config = MotivoConfig(
+        k=args.k,
+        seed=args.seed,
+        zero_rooting=not args.no_zero_rooting,
+        biased_lambda=args.biased_lambda,
+        spill_dir=args.spill_dir,
+        kernel=args.kernel,
+    )
+    start = time.perf_counter()
+    if args.colorings > 1:
+        from repro.engine import PipelineEngine
+
+        engine = PipelineEngine(
+            graph, config, colorings=args.colorings, jobs=args.jobs
+        )
+        bundle = engine.build_artifact(
+            args.output, codec=args.codec, source=args.graph
+        )
+        built = sum(1 for member in bundle.manifest["members"] if member)
+        print(
+            f"ensemble artifact: {built}/{args.colorings} colorings built "
+            f"(k={args.k}, codec={args.codec}) in "
+            f"{time.perf_counter() - start:.2f}s -> {args.output}"
+        )
+        return 0
+    with MotivoCounter(graph, config) as counter:
+        counter.build()
+        artifact = counter.save_artifact(
+            args.output, codec=args.codec, source=args.graph
+        )
+    manifest = artifact.manifest
+    print(
+        f"table artifact: k={args.k} codec={args.codec} "
+        f"{len(manifest['layers'])} layers, {artifact.total_pairs()} pairs, "
+        f"{artifact.payload_bytes()} bytes "
+        f"({artifact.bits_per_pair():.1f} bits/pair vs paper's 176) in "
+        f"{time.perf_counter() - start:.2f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.artifacts import ENSEMBLE_FORMAT, load_manifest
+
+    manifest = load_manifest(args.artifact)
+    source = args.graph or manifest.get("graph", {}).get("source")
+    if not source:
+        print(
+            "error: the artifact records no graph source; pass --graph",
+            file=sys.stderr,
+        )
+        return 1
+    graph = _load_graph(source)
+    mode = "ags" if args.ags else "naive"
+    start = time.perf_counter()
+    if manifest.get("format") == ENSEMBLE_FORMAT:
+        if args.seed is not None:
+            print(
+                "error: --seed applies to table artifacts only (ensemble "
+                "seeds are fixed at build time)",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.engine import PipelineEngine
+
+        if args.verify:
+            from repro.artifacts import EnsembleArtifact
+
+            EnsembleArtifact(args.artifact, manifest).verify()
+        # The engine restores each member's recorded build/sampling
+        # parameters from its own manifest — that fidelity is what keeps
+        # `sample` bit-identical to the live ensemble; --batch-size is an
+        # explicit override.
+        engine = PipelineEngine(
+            graph,
+            MotivoConfig(k=int(manifest["k"])),
+            colorings=len(manifest["seeds"]),
+            jobs=args.jobs,
+        )
+        if mode == "ags":
+            result = engine.run_ags(
+                args.samples, args.cover_threshold,
+                artifact=args.artifact, batch_size=args.batch_size,
+            )
+        else:
+            result = engine.run_naive(
+                args.samples,
+                artifact=args.artifact, batch_size=args.batch_size,
+            )
+        estimates = result.estimates
+        print(
+            f"sampled ensemble artifact: {result.colorings} colorings x "
+            f"{args.samples} {mode} samples on {args.jobs} job(s) in "
+            f"{time.perf_counter() - start:.2f}s (no rebuild, "
+            f"{result.empty_runs} empty)"
+        )
+    else:
+        counter = MotivoCounter.from_artifact(
+            graph, args.artifact, verify=args.verify, reseed=args.seed
+        )
+        # from_artifact restored the recorded batch_size; only an
+        # explicit flag overrides it (chunking changes the draw stream).
+        if args.batch_size is not None:
+            counter.config.batch_size = args.batch_size
+        if mode == "ags":
+            estimates = counter.sample_ags(
+                args.samples, args.cover_threshold
+            ).estimates
+        else:
+            estimates = counter.sample_naive(args.samples)
+        print(
+            f"sampled table artifact: {args.samples} {mode} samples in "
+            f"{time.perf_counter() - start:.2f}s (memory-mapped, no rebuild)"
+        )
+    _report_estimates(estimates, args.top, args.noninduced, args.output)
+    return 0
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
@@ -327,6 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "count": _cmd_count,
+        "build": _cmd_build,
+        "sample": _cmd_sample,
         "exact": _cmd_exact,
         "info": _cmd_info,
         "suggest-lambda": _cmd_suggest_lambda,

@@ -24,8 +24,18 @@ outer loop:
   transport, so ``merge_ops``/``spmm_ops``/``buildup`` totals cover the
   whole ensemble.
 
+* **Persistence.**  :meth:`PipelineEngine.build_artifact` runs the
+  build half only and bundles every member table as an ensemble
+  artifact (:mod:`repro.artifacts.ensemble`); ``run_naive``/``run_ags``
+  with ``artifact=`` sample such a bundle without rebuilding — the
+  recorded child seeds and per-member RNG states make the result
+  bit-identical to the live ensemble.  Members close their layer
+  stores when done (``cleanup_spill``) so long ensemble builds do not
+  leak per-coloring spill files.
+
 Consumed by :meth:`repro.motivo.MotivoCounter.averaged_naive`, the CLI
-(``motivo-py count --colorings N --jobs J``), and the benchmarks.
+(``motivo-py count --colorings N --jobs J``, ``build``/``sample``), and
+the benchmarks.
 """
 
 from __future__ import annotations
@@ -87,15 +97,34 @@ class EnsembleResult:
         return len(self.seeds)
 
 
+@dataclass(frozen=True)
+class _RunSpec:
+    """One ensemble member's marching orders (picklable task unit).
+
+    ``mode`` is ``"naive"`` / ``"ags"`` (build + sample, or reload +
+    sample when ``load_dir`` points at a member table artifact) or
+    ``"build"`` (build and persist to ``save_dir``, no sampling).
+    ``cleanup`` closes the member's layer store afterwards so
+    per-coloring spill files do not accumulate across a long ensemble.
+    """
+
+    seed: int
+    mode: str
+    samples: int = 0
+    cover_threshold: int = 0
+    load_dir: Optional[str] = None
+    save_dir: Optional[str] = None
+    codec: str = "dense"
+    cleanup: bool = True
+    batch_size: Optional[int] = None
+
+
 def _execute_run(
     graph: Graph,
     config,
-    seed: int,
-    mode: str,
-    samples: int,
-    cover_threshold: int,
+    spec: _RunSpec,
 ) -> Tuple[Optional[dict], "dict[str, float]"]:
-    """One ensemble member: build under a child seed, sample, report.
+    """One ensemble member: build (or reload) under a child seed, report.
 
     Returns the estimates as a plain dict plus an instrumentation
     snapshot (both cheap to ship between processes); ``None`` estimates
@@ -105,25 +134,48 @@ def _execute_run(
     """
     from repro.motivo import MotivoCounter
 
-    config = replace(config, seed=seed)
-    if config.spill_dir is not None:
-        config = replace(
-            config,
-            spill_dir=os.path.join(config.spill_dir, f"coloring-{seed}"),
-        )
-    counter = MotivoCounter(graph, config)
-    try:
-        counter.build()
-    except SamplingError:
-        return None, counter.instrumentation.snapshot()
-    if mode == "ags":
-        estimates = counter.sample_ags(samples, cover_threshold).estimates
+    if spec.load_dir is not None:
+        # The member artifact's manifest is authoritative: it records the
+        # full build config (child seed, buffers, batch size) alongside
+        # the post-build RNG state, which is what makes artifact-backed
+        # sampling bit-identical to the live ensemble.
+        counter = MotivoCounter.from_artifact(graph, spec.load_dir)
     else:
-        estimates = counter.sample_naive(samples)
-    payload_out = {
-        "counts": estimates.counts,
-        "hits": estimates.hits,
-    }
+        config = replace(config, seed=spec.seed)
+        if config.spill_dir is not None:
+            config = replace(
+                config,
+                spill_dir=os.path.join(
+                    config.spill_dir, f"coloring-{spec.seed}"
+                ),
+            )
+        counter = MotivoCounter(graph, config)
+        try:
+            counter.build()
+        except SamplingError:
+            if spec.cleanup:
+                counter.close()
+            return None, counter.instrumentation.snapshot()
+    if spec.batch_size is not None:
+        counter.config.batch_size = spec.batch_size
+    try:
+        if spec.mode == "build":
+            counter.save_artifact(spec.save_dir, codec=spec.codec)
+            payload_out: Optional[dict] = {"built": True}
+        else:
+            if spec.mode == "ags":
+                estimates = counter.sample_ags(
+                    spec.samples, spec.cover_threshold
+                ).estimates
+            else:
+                estimates = counter.sample_naive(spec.samples)
+            payload_out = {
+                "counts": estimates.counts,
+                "hits": estimates.hits,
+            }
+    finally:
+        if spec.cleanup:
+            counter.close()
     return payload_out, counter.instrumentation.snapshot()
 
 
@@ -138,11 +190,9 @@ def _init_worker(graph: Graph, config) -> None:
     _WORKER_STATE["config"] = config
 
 
-def _run_task(task: Tuple[int, str, int, int]):
-    seed, mode, samples, cover_threshold = task
+def _run_task(spec: _RunSpec):
     return _execute_run(
-        _WORKER_STATE["graph"], _WORKER_STATE["config"],
-        seed, mode, samples, cover_threshold,
+        _WORKER_STATE["graph"], _WORKER_STATE["config"], spec
     )
 
 
@@ -160,6 +210,11 @@ class PipelineEngine:
         Ensemble size (the paper's 20).
     jobs:
         Worker processes; 1 means in-process serial execution.
+    cleanup_spill:
+        Close each member's layer store once its run finishes (default),
+        so the per-coloring namespaced spill directories of a long
+        ensemble build do not accumulate.  Set ``False`` to keep every
+        member's spill files on disk after the run.
     """
 
     def __init__(
@@ -168,6 +223,7 @@ class PipelineEngine:
         config=None,
         colorings: int = 1,
         jobs: int = 1,
+        cleanup_spill: bool = True,
     ):
         from repro.motivo import MotivoConfig
 
@@ -179,6 +235,7 @@ class PipelineEngine:
         self.config = config or MotivoConfig()
         self.colorings = colorings
         self.jobs = jobs
+        self.cleanup_spill = cleanup_spill
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -188,22 +245,111 @@ class PipelineEngine:
         self,
         samples_per_run: int,
         seeds: Optional[Sequence[int]] = None,
+        artifact=None,
+        batch_size: Optional[int] = None,
     ) -> EnsembleResult:
-        """Ensemble of naive-sampling runs, averaged."""
-        return self._run("naive", samples_per_run, 0, seeds)
+        """Ensemble of naive-sampling runs, averaged.
+
+        ``artifact`` (an ensemble-artifact path or
+        :class:`~repro.artifacts.ensemble.EnsembleArtifact`) samples from
+        persisted member tables instead of rebuilding; seeds and every
+        member's build/sampling parameters then come from the bundle's
+        manifests, making the result bit-identical to the live ensemble
+        that built it.  ``batch_size`` explicitly overrides the sampling
+        chunk size per member (chunking changes the draw stream, so the
+        bit-identity guarantee only holds without an override).
+        """
+        return self._run(
+            "naive", samples_per_run, 0, seeds, artifact, batch_size
+        )
 
     def run_ags(
         self,
         budget_per_run: int,
         cover_threshold: int = 300,
         seeds: Optional[Sequence[int]] = None,
+        artifact=None,
+        batch_size: Optional[int] = None,
     ) -> EnsembleResult:
-        """Ensemble of AGS runs, averaged."""
-        return self._run("ags", budget_per_run, cover_threshold, seeds)
+        """Ensemble of AGS runs, averaged (``artifact`` as in naive)."""
+        return self._run(
+            "ags", budget_per_run, cover_threshold, seeds, artifact,
+            batch_size,
+        )
+
+    def build_artifact(
+        self,
+        directory: str,
+        seeds: Optional[Sequence[int]] = None,
+        codec: str = "dense",
+        source: Optional[str] = None,
+    ):
+        """Build every coloring and persist the ensemble as one bundle.
+
+        Each member runs exactly like a live ensemble member (same child
+        seeds, serial or process-pool) but stops after the build-up
+        phase, saving its table — post-build RNG state included — as a
+        member artifact under ``directory``.  Colorings whose urn came
+        up empty are recorded as ``null`` members, so later sampling
+        reproduces the live ensemble bit for bit.  Returns the opened
+        :class:`~repro.artifacts.ensemble.EnsembleArtifact`.
+        """
+        from repro.artifacts import open_ensemble, save_ensemble
+
+        seeds = self._resolve_seeds(seeds)
+        os.makedirs(directory, exist_ok=True)
+        members = [f"coloring-{index:03d}" for index in range(len(seeds))]
+        tasks = [
+            _RunSpec(
+                seed=seed,
+                mode="build",
+                save_dir=os.path.join(directory, member),
+                codec=codec,
+                cleanup=self.cleanup_spill,
+            )
+            for seed, member in zip(seeds, members)
+        ]
+        instrumentation = Instrumentation()
+        with instrumentation.timer("ensemble_build"):
+            outcomes = self._execute(tasks)
+        recorded: List[Optional[str]] = []
+        for member, (payload, snapshot) in zip(members, outcomes):
+            instrumentation.merge(Instrumentation.from_snapshot(snapshot))
+            recorded.append(member if payload is not None else None)
+        save_ensemble(
+            directory,
+            self.graph,
+            self.config.k,
+            list(seeds),
+            recorded,
+            build=self.config.build_params(),
+            codec=codec,
+            instrumentation=instrumentation,
+            source=source,
+        )
+        return open_ensemble(directory, self.graph)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _resolve_bundle(self, artifact):
+        from repro.artifacts import EnsembleArtifact, open_ensemble
+
+        if isinstance(artifact, EnsembleArtifact):
+            return artifact
+        return open_ensemble(str(artifact), self.graph)
+
+    def _resolve_seeds(self, seeds: Optional[Sequence[int]]) -> "list[int]":
+        """Derive child seeds, or validate an explicit list's length."""
+        if seeds is None:
+            return derive_child_seeds(self.config.seed, self.colorings)
+        seeds = [int(seed) for seed in seeds]
+        if len(seeds) != self.colorings:
+            raise SamplingError(
+                f"got {len(seeds)} seeds for {self.colorings} colorings"
+            )
+        return seeds
 
     def _run(
         self,
@@ -211,18 +357,47 @@ class PipelineEngine:
         samples: int,
         cover_threshold: int,
         seeds: Optional[Sequence[int]],
+        artifact=None,
+        batch_size: Optional[int] = None,
     ) -> EnsembleResult:
-        if seeds is None:
-            seeds = derive_child_seeds(self.config.seed, self.colorings)
-        else:
-            seeds = [int(seed) for seed in seeds]
-            if len(seeds) != self.colorings:
+        members: Optional[List[Optional[str]]] = None
+        if artifact is not None:
+            if seeds is not None:
                 raise SamplingError(
-                    f"got {len(seeds)} seeds for {self.colorings} colorings"
+                    "pass either seeds= or artifact=, not both"
                 )
-        tasks = [
-            (seed, mode, samples, cover_threshold) for seed in seeds
-        ]
+            bundle = self._resolve_bundle(artifact)
+            if bundle.k != self.config.k:
+                raise SamplingError(
+                    f"artifact bundles k={bundle.k} tables, engine is "
+                    f"configured for k={self.config.k}"
+                )
+            if bundle.colorings != self.colorings:
+                raise SamplingError(
+                    f"artifact bundles {bundle.colorings} colorings, engine "
+                    f"is configured for {self.colorings}"
+                )
+            seeds = bundle.seeds
+            members = bundle.member_paths()
+        else:
+            seeds = self._resolve_seeds(seeds)
+        if members is None:
+            members = [None] * len(seeds)
+        tasks = []
+        for seed, member in zip(seeds, members):
+            if artifact is not None and member is None:
+                continue  # recorded empty-urn coloring: nothing to sample
+            tasks.append(
+                _RunSpec(
+                    seed=seed,
+                    mode=mode,
+                    samples=samples,
+                    cover_threshold=cover_threshold,
+                    load_dir=member,
+                    cleanup=self.cleanup_spill,
+                    batch_size=batch_size,
+                )
+            )
         instrumentation = Instrumentation()
         with instrumentation.timer("ensemble"):
             outcomes = self._execute(tasks)
@@ -231,7 +406,7 @@ class PipelineEngine:
         runs = len(seeds)
         merged: Dict[int, float] = {}
         merged_hits: Dict[int, int] = {}
-        empty_runs = 0
+        empty_runs = runs - len(tasks)
         for estimates, snapshot in outcomes:
             instrumentation.merge(Instrumentation.from_snapshot(snapshot))
             if estimates is None:
@@ -257,13 +432,15 @@ class PipelineEngine:
             empty_runs=empty_runs,
         )
 
-    def _execute(self, tasks) -> "list":
+    def _execute(self, tasks: "list[_RunSpec]") -> "list":
         def serially():
             return [
-                _execute_run(self.graph, self.config, *task)
+                _execute_run(self.graph, self.config, task)
                 for task in tasks
             ]
 
+        if not tasks:
+            return []
         if self.jobs == 1 or len(tasks) == 1:
             return serially()
         try:

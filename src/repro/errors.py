@@ -36,6 +36,17 @@ class TableError(ReproError):
     """Raised for count-table misuse (missing records, bad keys...)."""
 
 
+class ArtifactError(TableError):
+    """Raised for unusable on-disk table artifacts.
+
+    Covers the persistence failure modes the artifact subsystem promises
+    to detect: corrupted or missing manifests, format-version skew,
+    graph-fingerprint mismatches, and blob/digest inconsistencies.
+    Subclasses :class:`TableError` because an artifact *is* a count table
+    at rest — callers guarding table access catch both uniformly.
+    """
+
+
 class BuildError(ReproError):
     """Raised when the build-up phase is invoked with inconsistent options."""
 

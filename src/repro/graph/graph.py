@@ -9,6 +9,7 @@ to turn a sampled treelet into an induced graphlet.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,7 +28,10 @@ class Graph:
     during construction; isolated vertices are allowed (pass ``n``).
     """
 
-    __slots__ = ("_indptr", "_indices", "_n", "_m", "_csr_cache", "_edge_keys")
+    __slots__ = (
+        "_indptr", "_indices", "_n", "_m", "_csr_cache", "_edge_keys",
+        "_fingerprint",
+    )
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
         self._indptr = indptr
@@ -36,6 +40,7 @@ class Graph:
         self._m = indices.shape[0] // 2
         self._csr_cache: Optional[sparse.csr_matrix] = None
         self._edge_keys: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -168,6 +173,25 @@ class Graph:
         heads = np.repeat(np.arange(self._n, dtype=np.int64), self.degrees())
         forward = heads < self._indices
         return np.column_stack([heads[forward], self._indices[forward]])
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph structure, as ``sha256:<hex>``.
+
+        Hashes the vertex count and the canonical CSR arrays, so two
+        graphs fingerprint equal iff they have identical vertex sets and
+        edge sets (construction already normalizes edge order and
+        duplicates).  This is the identity that persistent table
+        artifacts are keyed on: a table is only valid against the exact
+        graph it was built from.  Cached after the first call.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(b"repro-graph-v1")
+            digest.update(np.int64(self._n).tobytes())
+            digest.update(np.ascontiguousarray(self._indptr, dtype=np.int64))
+            digest.update(np.ascontiguousarray(self._indices, dtype=np.int64))
+            self._fingerprint = f"sha256:{digest.hexdigest()}"
+        return self._fingerprint
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self._n:

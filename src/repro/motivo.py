@@ -16,6 +16,14 @@ motivo over 20 runs") — is delegated to
 :class:`~repro.engine.pipeline.PipelineEngine`, which runs the ensemble
 serially or across a process pool with deterministic per-coloring seeds.
 
+Persistence (build once, sample many): :meth:`MotivoCounter.save_artifact`
+writes the finished table as a versioned on-disk artifact and
+:meth:`MotivoCounter.from_artifact` reopens it — dense layers
+memory-mapped, master RNG resumed from the recorded post-build state —
+so warm counters sample bit-identically to freshly built ones.  Setting
+:attr:`MotivoConfig.artifact_dir` routes :meth:`MotivoCounter.build`
+through the content-addressed artifact cache automatically.
+
 Quickstart::
 
     from repro import MotivoConfig, MotivoCounter
@@ -30,10 +38,13 @@ Quickstart::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import BuildError, SamplingError
+import numpy as np
+
+from repro.errors import ArtifactError, BuildError, SamplingError
 from repro.colorcoding.buildup import build_table
 from repro.colorcoding.coloring import ColoringScheme
 from repro.colorcoding.urn import TreeletUrn
@@ -44,11 +55,18 @@ from repro.sampling.estimates import GraphletEstimates
 from repro.sampling.naive import DEFAULT_BATCH_SIZE, naive_estimate
 from repro.sampling.occurrences import GraphletClassifier
 from repro.table.flush import SpillStore
+from repro.table.layer_store import InMemoryStore, LayerStore, SpillLayerStore
 from repro.treelets.registry import TreeletRegistry
 from repro.util.instrument import Instrumentation
 from repro.util.rng import ensure_rng, spawn_rng
 
 __all__ = ["MotivoConfig", "MotivoCounter"]
+
+#: MotivoConfig fields recorded in (and restored from) artifact manifests.
+_BUILD_FIELDS = (
+    "k", "seed", "zero_rooting", "biased_lambda",
+    "buffer_threshold", "buffer_size", "kernel", "batch_size",
+)
 
 
 @dataclass
@@ -82,6 +100,17 @@ class MotivoConfig:
         chunk cap).  ``<= 1`` falls back to the original per-sample draw
         loop; the two regimes consume the generator differently, so
         estimates are reproducible per ``(seed, batch_size)``.
+    artifact_dir:
+        When set (and ``seed`` is fixed), :meth:`MotivoCounter.build`
+        goes through a content-addressed
+        :class:`~repro.artifacts.cache.ArtifactCache` rooted there: a
+        build matching the graph fingerprint and build parameters is
+        reopened from disk (dense layers memory-mapped) instead of
+        rebuilt, and fresh builds are saved for the next caller.
+    artifact_codec:
+        Count-blob codec for artifacts written through the cache:
+        ``"dense"`` (memmap reopen, the default) or ``"succinct"``
+        (delta/varint, smallest on disk).
     """
 
     k: int = 5
@@ -94,6 +123,12 @@ class MotivoConfig:
     sigma_cache_dir: Optional[str] = None
     kernel: str = "batched"
     batch_size: int = DEFAULT_BATCH_SIZE
+    artifact_dir: Optional[str] = None
+    artifact_codec: str = "dense"
+
+    def build_params(self) -> dict:
+        """The table-relevant fields, as recorded in artifact manifests."""
+        return {name: getattr(self, name) for name in _BUILD_FIELDS}
 
 
 class MotivoCounter:
@@ -111,13 +146,29 @@ class MotivoCounter:
         self.coloring: Optional[ColoringScheme] = None
         self.urn: Optional[TreeletUrn] = None
         self.classifier: Optional[GraphletClassifier] = None
+        self.store: Optional[LayerStore] = None
 
     # ------------------------------------------------------------------
     # Build-up phase
     # ------------------------------------------------------------------
 
     def build(self) -> TreeletUrn:
-        """Color the graph and run the build-up phase; returns the urn."""
+        """Color the graph and run the build-up phase; returns the urn.
+
+        With :attr:`MotivoConfig.artifact_dir` set (and a fixed seed),
+        the build goes through the artifact cache: a matching persisted
+        table is reopened — memory-mapped, no rebuild — and a fresh
+        build is saved back for later callers.  Either way the counter
+        ends up in the same state, master RNG stream included, so
+        estimates are bit-identical whether the table came warm from
+        disk or was just built.
+        """
+        config = self.config
+        if config.artifact_dir is not None and config.seed is not None:
+            return self._build_cached()
+        return self._build_fresh()
+
+    def _build_fresh(self) -> TreeletUrn:
         config = self.config
         n = self.graph.num_vertices
         if config.biased_lambda is None:
@@ -126,16 +177,56 @@ class MotivoCounter:
             self.coloring = ColoringScheme.biased(
                 n, config.k, config.biased_lambda, self._rng
             )
-        spill = SpillStore(config.spill_dir) if config.spill_dir else None
+        if config.spill_dir:
+            self.store = SpillLayerStore(SpillStore(config.spill_dir))
+        else:
+            self.store = InMemoryStore()
         table = build_table(
             self.graph,
             self.coloring,
             registry=self.registry,
             zero_rooting=config.zero_rooting,
-            spill=spill,
+            store=self.store,
             instrumentation=self.instrumentation,
             kernel=config.kernel,
         )
+        self._finish_build(table)
+        return self.urn
+
+    def _build_cached(self) -> TreeletUrn:
+        """Build through the content-addressed artifact cache."""
+        from repro.artifacts import ArtifactCache, open_table
+
+        config = self.config
+        cache = ArtifactCache(config.artifact_dir)
+        key = cache.key(self.graph, config, config.artifact_codec)
+        slot = cache.lookup(self.graph, config, config.artifact_codec)
+        if slot is not None:
+            try:
+                artifact = open_table(slot, self.graph)
+            except ArtifactError:
+                # A stale slot (version skew after an upgrade, truncated
+                # blobs) is a miss, not a failure: evict and rebuild.
+                cache.evict(key)
+            else:
+                self.instrumentation.count("artifact_cache_hits")
+                self._adopt_artifact(artifact)
+                return self.urn
+        self.instrumentation.count("artifact_cache_misses")
+        self._build_fresh()
+        tmp = cache.tmp_path(key)
+        self.save_artifact(tmp, codec=config.artifact_codec)
+        try:
+            cache.admit(tmp, key)
+        except OSError:
+            # A concurrent evict/clear can sweep our in-flight tmp dir;
+            # losing the cache write must not fail a successful build.
+            self.instrumentation.count("artifact_cache_admit_lost")
+        return self.urn
+
+    def _finish_build(self, table) -> None:
+        """Wrap a finished table in the sampling-phase machinery."""
+        config = self.config
         self.urn = TreeletUrn(
             self.graph,
             table,
@@ -146,12 +237,154 @@ class MotivoCounter:
             instrumentation=self.instrumentation,
         )
         self.classifier = GraphletClassifier(self.graph, config.k)
-        return self.urn
 
     def _require_built(self) -> TreeletUrn:
         if self.urn is None or self.classifier is None:
             raise SamplingError("call build() before sampling")
         return self.urn
+
+    # ------------------------------------------------------------------
+    # Persistence: build once, sample many
+    # ------------------------------------------------------------------
+
+    def save_artifact(
+        self,
+        directory: str,
+        codec: str = "dense",
+        source: Optional[str] = None,
+    ) -> "object":
+        """Persist the built table as a reusable on-disk artifact.
+
+        Records the build parameters, the coloring, per-layer blobs in
+        the chosen codec, the build instrumentation, and — crucially —
+        the *post-build state of the master RNG stream*, so a counter
+        restored with :meth:`from_artifact` samples bit-identically to
+        this one.  Returns the
+        :class:`~repro.artifacts.table_artifact.TableArtifact`.
+        """
+        urn = self._require_built()
+        from repro.artifacts import save_table
+
+        return save_table(
+            directory,
+            urn.table,
+            self.coloring,
+            self.graph,
+            codec=codec,
+            build=self.config.build_params(),
+            rng_state=self._rng.bit_generator.state,
+            instrumentation=self.instrumentation,
+            source=source,
+        )
+
+    @classmethod
+    def from_artifact(
+        cls,
+        graph: Graph,
+        directory: str,
+        config: Optional[MotivoConfig] = None,
+        mmap: bool = True,
+        verify: bool = False,
+        reseed: "Optional[int]" = None,
+    ) -> "MotivoCounter":
+        """Reopen a saved table artifact as a ready-to-sample counter.
+
+        The expensive build-up phase is skipped entirely: dense count
+        blobs are memory-mapped (``mmap=True``), the stored coloring and
+        build parameters are adopted, and the master RNG resumes from
+        the recorded post-build state — so for a fixed seed the returned
+        counter's estimates are bit-identical to a one-shot
+        build-and-sample run.  ``config`` overrides the sampling-side
+        parameters (its ``k``/``seed`` must agree with the artifact);
+        ``reseed`` discards the stored stream and starts a fresh one.
+        """
+        from repro.artifacts import open_table
+
+        artifact = open_table(directory, graph, mmap=mmap, verify=verify)
+        stored = artifact.build
+        if config is None:
+            known = {
+                name: stored[name] for name in _BUILD_FIELDS if name in stored
+            }
+            # The manifest's top-level k is authoritative: artifacts saved
+            # without build params (e.g. via LayerStore.export_artifact)
+            # must not fall back to the MotivoConfig default.
+            known["k"] = artifact.k
+            config = MotivoConfig(**known)
+        else:
+            if config.k != artifact.k:
+                raise ArtifactError(
+                    f"artifact holds a k={artifact.k} table, config wants "
+                    f"k={config.k}"
+                )
+            stored_seed = stored.get("seed")
+            if (
+                config.seed is not None
+                and stored_seed is not None
+                and config.seed != stored_seed
+            ):
+                raise ArtifactError(
+                    f"artifact was built under seed {stored_seed}, config "
+                    f"wants {config.seed}"
+                )
+        counter = cls(graph, config)
+        return counter._adopt_artifact(artifact, reseed=reseed)
+
+    def _adopt_artifact(
+        self, artifact, reseed: "Optional[int]" = None
+    ) -> "MotivoCounter":
+        """Take over a loaded artifact's table, coloring, and RNG stream."""
+        self.coloring = artifact.coloring
+        if reseed is not None:
+            self._rng = ensure_rng(reseed)
+        elif artifact.rng_state is not None:
+            state = artifact.rng_state
+            generator_cls = getattr(
+                np.random, str(state.get("bit_generator", "")), None
+            )
+            if not (
+                isinstance(generator_cls, type)
+                and issubclass(generator_cls, np.random.BitGenerator)
+            ):
+                raise ArtifactError(
+                    "artifact records an unknown bit generator "
+                    f"{state.get('bit_generator')!r}"
+                )
+            try:
+                generator = np.random.Generator(generator_cls())
+                generator.bit_generator.state = state
+            except (TypeError, ValueError, KeyError) as error:
+                raise ArtifactError(
+                    f"artifact records an unusable RNG state: {error}"
+                ) from None
+            self._rng = generator
+        self.instrumentation.merge(
+            Instrumentation.from_snapshot(
+                artifact.manifest.get("instrumentation", {})
+            )
+        )
+        self._finish_build(artifact.table)
+        return self
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the build's on-disk scratch state (spill files).
+
+        After closing, memory-mapped layers served by a spilling store
+        are gone — sampling must not continue.  In-memory builds are
+        unaffected.  Idempotent.
+        """
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "MotivoCounter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Sampling phase

@@ -14,7 +14,10 @@ baseline, :mod:`repro.table.flush` adds greedy flushing to disk with
 memory-mapped reads (§3.1 "Greedy flushing" and §3.3 "Memory-mapped
 reads"), and :mod:`repro.table.layer_store` unifies where finished layers
 live (resident, spilled + memory-mapped, or sharded by vertex range)
-behind one ``LayerStore`` interface.
+behind one ``LayerStore`` interface — a context manager whose ``close``
+releases on-disk scratch state and whose ``export_artifact`` hands the
+finished table to :mod:`repro.artifacts` for durable build-once /
+sample-many reuse.
 """
 
 from repro.table.count_table import CountTable, Layer

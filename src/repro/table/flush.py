@@ -14,12 +14,21 @@ caching to the operating system.
    the second I/O pass;
 3. :meth:`load_layer` reopens a layer with ``numpy.memmap``-backed counts,
    so reads page data in lazily exactly like motivo's ``mmap`` tables.
+
+Lifecycle.  A store owns scratch state on disk; :meth:`close` releases
+it — removing the spill directory outright when the store created it,
+or just the files it wrote into a pre-existing directory — and the
+store doubles as a context manager (``with SpillStore(dir) as store:``).
+Long-running ensemble builds close each coloring's store once sampling
+finishes so per-coloring spill files do not accumulate.  Closing
+invalidates memory-mapped layers loaded from the store.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -27,9 +36,31 @@ import numpy as np
 from repro.errors import TableError
 from repro.table.count_table import Layer
 
-__all__ = ["SpillStore"]
+__all__ = ["SpillStore", "remove_scratch"]
 
 Key = Tuple[int, int]
+
+
+def remove_scratch(directory, owns_directory: bool, paths) -> None:
+    """Ownership-aware scratch teardown shared by the disk-backed stores.
+
+    Removes the whole ``directory`` when the store created it (the
+    temporary-directory case); in a pre-existing directory only the
+    managed ``paths`` are unlinked — foreign files are never touched.
+    Missing files and directories are ignored (idempotent, race-safe).
+    """
+    if directory is None:
+        return
+    if owns_directory:
+        shutil.rmtree(directory, ignore_errors=True)
+        return
+    if not os.path.isdir(directory):
+        return
+    for path in paths:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
 
 
 class SpillStore:
@@ -37,8 +68,10 @@ class SpillStore:
 
     def __init__(self, directory: str):
         self.directory = directory
+        self._owns_directory = not os.path.isdir(directory)
         os.makedirs(directory, exist_ok=True)
         self._sorted: Dict[int, bool] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Write path
@@ -111,6 +144,40 @@ class SpillStore:
         for name in os.listdir(self.directory):
             total += os.path.getsize(os.path.join(self.directory, name))
         return total
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the on-disk scratch state.
+
+        Removes the whole spill directory when this store created it
+        (the temporary-directory case: engine-namespaced per-coloring
+        spills, tmp dirs); in a pre-existing directory only the layer
+        files and manifest this store manages are deleted.  Idempotent.
+        Layers previously loaded with ``mmap=True`` must not be read
+        afterwards — their backing files are gone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        paths = [os.path.join(self.directory, "manifest.json")]
+        if os.path.isdir(self.directory):
+            for size in self.spilled_sizes():
+                paths += [self._key_path(size), self._count_path(size)]
+        remove_scratch(self.directory, self._owns_directory, paths)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "SpillStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Internals

@@ -21,6 +21,12 @@ spill path:
     vertex range ``[lo, hi)`` only ever needs the shards covering that
     range.  Locally the full layer stays resident so the table remains a
     drop-in :class:`~repro.table.count_table.CountTable`.
+
+Every store is a context manager whose :meth:`~LayerStore.close`
+releases on-disk scratch state (see :mod:`repro.table.flush` for the
+ownership rules), and :meth:`~LayerStore.export_artifact` routes a
+finished build to :mod:`repro.artifacts` so the table survives the
+process as a reusable, versioned on-disk artifact.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ import numpy as np
 
 from repro.errors import TableError
 from repro.table.count_table import CountTable, Layer
-from repro.table.flush import SpillStore
+from repro.table.flush import SpillStore, remove_scratch
 from repro.util.instrument import Instrumentation
 
 __all__ = [
@@ -81,6 +87,35 @@ class LayerStore(ABC):
     def bytes_on_disk(self) -> int:
         """Bytes this store persisted outside process memory."""
         return 0
+
+    def close(self) -> None:
+        """Release scratch state (spill files, shard files); idempotent.
+
+        The default store keeps nothing outside process memory, so the
+        base implementation is a no-op.  Disk-backed stores remove their
+        temporary directories here — after ``close`` any layer they
+        served memory-mapped must not be read.
+        """
+
+    def __enter__(self) -> "LayerStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def export_artifact(self, table: CountTable, directory: str, **kwargs):
+        """Persist the finished table as a reusable on-disk artifact.
+
+        Runs after :meth:`finalize`; the artifact format (manifest +
+        per-layer blobs) is owned by :mod:`repro.artifacts`, this hook
+        just routes a finished build there so every storage backend —
+        resident, spilled, sharded — exports identically.  ``kwargs``
+        pass through to :func:`repro.artifacts.save_table` (``coloring``
+        and ``graph`` are required there).
+        """
+        from repro.artifacts import save_table
+
+        return save_table(directory, table, **kwargs)
 
 
 class InMemoryStore(LayerStore):
@@ -139,6 +174,9 @@ class SpillLayerStore(LayerStore):
     def bytes_on_disk(self) -> int:
         return self.spill.bytes_on_disk()
 
+    def close(self) -> None:
+        self.spill.close()
+
 
 class ShardedStore(LayerStore):
     """Layer storage sharded by contiguous vertex ranges.
@@ -160,10 +198,14 @@ class ShardedStore(LayerStore):
             raise TableError("a sharded store needs at least one shard")
         self.num_shards = num_shards
         self.directory = directory
+        self._owns_directory = (
+            directory is not None and not os.path.isdir(directory)
+        )
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
         #: size → (keys, shard boundary offsets over the vertex axis)
         self._layers: Dict[int, Tuple[List[Key], np.ndarray]] = {}
+        self._closed = False
 
     def shard_bounds(self, num_vertices: int) -> np.ndarray:
         """Vertex-range boundaries: shard ``i`` owns ``[b[i], b[i+1])``."""
@@ -231,6 +273,26 @@ class ShardedStore(LayerStore):
         for name in os.listdir(self.directory):
             total += os.path.getsize(os.path.join(self.directory, name))
         return total
+
+    def close(self) -> None:
+        """Remove persisted shard files; see :meth:`LayerStore.close`.
+
+        Deletes the shard directory when this store created it, or just
+        the per-layer shard/key files inside a pre-existing directory.
+        The resident layers (plain arrays) stay usable.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        paths = []
+        if self.directory is not None:
+            for size in self.sizes():
+                paths.append(self._key_path(size))
+                paths += [
+                    self._shard_path(size, i)
+                    for i in range(self.num_shards)
+                ]
+        remove_scratch(self.directory, self._owns_directory, paths)
 
     def _key_path(self, size: int) -> str:
         assert self.directory is not None

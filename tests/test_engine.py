@@ -184,17 +184,39 @@ class TestPipelineEngine:
         import os
 
         config = MotivoConfig(k=4, seed=21, spill_dir=str(tmp_path / "s"))
-        parallel = PipelineEngine(graph, config, colorings=3, jobs=2)
+        parallel = PipelineEngine(
+            graph, config, colorings=3, jobs=2, cleanup_spill=False
+        )
         serial_config = MotivoConfig(
             k=4, seed=21, spill_dir=str(tmp_path / "s2")
         )
-        serial = PipelineEngine(graph, serial_config, colorings=3, jobs=1)
+        serial = PipelineEngine(
+            graph, serial_config, colorings=3, jobs=1, cleanup_spill=False
+        )
         result_parallel = parallel.run_naive(200)
         result_serial = serial.run_naive(200)
         assert result_parallel.estimates.counts == result_serial.estimates.counts
         subdirs = sorted(os.listdir(tmp_path / "s"))
         assert len(subdirs) == 3
         assert all(name.startswith("coloring-") for name in subdirs)
+
+    def test_spill_dirs_cleaned_up_by_default(self, graph, tmp_path):
+        """Ensemble members close their stores: no leaked spill files."""
+        import os
+
+        config = MotivoConfig(k=4, seed=21, spill_dir=str(tmp_path / "s"))
+        cleaned = PipelineEngine(graph, config, colorings=3, jobs=1)
+        kept_config = MotivoConfig(
+            k=4, seed=21, spill_dir=str(tmp_path / "s2")
+        )
+        kept = PipelineEngine(
+            graph, kept_config, colorings=3, jobs=1, cleanup_spill=False
+        )
+        result = cleaned.run_naive(200)
+        reference = kept.run_naive(200)
+        # Cleanup must not change the estimates, only the leftovers.
+        assert result.estimates.counts == reference.estimates.counts
+        assert sorted(os.listdir(tmp_path / "s")) == []
 
     def test_explicit_seeds_respected(self, graph):
         config = MotivoConfig(k=4, seed=None)
