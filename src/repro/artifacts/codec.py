@@ -23,9 +23,12 @@ little-endian records.  Count blobs come in two codecs:
     the varint round-trip is lossless; the codec refuses non-integer
     input.  The three varint streams (row lengths, gaps, counts) are
     concatenated, with their byte lengths recorded in the manifest so
-    decoding is three vectorized passes.  Opening a succinct layer
-    materializes the dense matrix — the codec trades the memmap property
-    for bytes on disk.
+    decoding is three vectorized passes.  A succinct blob opens two
+    ways: :func:`decode_counts_succinct` rebuilds the dense matrix, and
+    :func:`decode_counts_csr` converts the key-major streams straight to
+    the vertex-major CSR arrays of
+    :class:`~repro.table.count_table.SuccinctLayer` — one counting sort
+    over the stored pairs, no dense round-trip.
 
 Every encoder/decoder here is array-at-a-time: varint packing and
 unpacking loop over *byte positions* (at most ten), never over values.
@@ -47,7 +50,9 @@ __all__ = [
     "encode_varints",
     "decode_varints",
     "encode_counts_succinct",
+    "encode_pairs_succinct",
     "decode_counts_succinct",
+    "decode_counts_csr",
 ]
 
 Key = Tuple[int, int]
@@ -167,22 +172,50 @@ def encode_counts_succinct(counts: np.ndarray) -> Tuple[bytes, List[int]]:
     if matrix.ndim != 2:
         raise ArtifactError("succinct codec encodes 2-D count matrices")
     rows, cols = np.nonzero(matrix)
-    values = matrix[rows, cols]
+    return encode_pairs_succinct(rows, cols, matrix[rows, cols], matrix.shape[0])
+
+
+def encode_pairs_succinct(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_keys: int,
+) -> Tuple[bytes, List[int]]:
+    """Encode key-major nonzero pairs — the blob's native form.
+
+    ``rows`` must ascend and ``cols`` ascend within each row (the order
+    ``np.nonzero`` and
+    :meth:`~repro.table.count_table.LayerView.key_major_pairs` both
+    produce), so a dense matrix and its sealed CSR twin serialize to
+    byte-identical blobs.  Same return contract as
+    :func:`encode_counts_succinct`.
+    """
+    values = np.asarray(values, dtype=np.float64)
     as_ints = values.astype(np.uint64)
     if not np.array_equal(as_ints.astype(np.float64), values):
         raise ArtifactError(
             "succinct codec requires integer-valued counts below 2^53"
         )
-    row_nnz = np.bincount(rows, minlength=matrix.shape[0]).astype(np.uint64)
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size and not np.all(rows[1:] >= rows[:-1]):
+        raise ArtifactError("succinct codec requires rows in ascending order")
+    row_nnz = np.bincount(rows, minlength=num_keys).astype(np.uint64)
+    if row_nnz.size != num_keys:
+        raise ArtifactError("succinct codec saw rows outside the key range")
     # Gap-encode column indices within each row: the first entry is the
     # absolute column, later entries store the distance to their left
-    # neighbor (np.nonzero yields row-major order, so columns ascend
-    # within a row and every gap is non-negative).
-    gaps = cols.astype(np.int64).copy()
+    # neighbor (key-major order means columns ascend within a row and
+    # every gap is non-negative).
+    cols = np.asarray(cols, dtype=np.int64)
+    gaps = cols.copy()
     if gaps.size:
         same_row = np.zeros(gaps.size, dtype=bool)
         same_row[1:] = rows[1:] == rows[:-1]
         gaps[1:] -= np.where(same_row[1:], cols[:-1], 0)
+        if int(gaps.min()) < 0:
+            raise ArtifactError(
+                "succinct codec requires columns ascending within a row"
+            )
     sections = [
         encode_varints(row_nnz),
         encode_varints(gaps.astype(np.uint64)),
@@ -191,13 +224,18 @@ def encode_counts_succinct(counts: np.ndarray) -> Tuple[bytes, List[int]]:
     return b"".join(sections), [len(section) for section in sections]
 
 
-def decode_counts_succinct(
+def _succinct_streams(
     blob: bytes,
     sections: Sequence[int],
     num_keys: int,
     num_vertices: int,
-) -> np.ndarray:
-    """Inverse of :func:`encode_counts_succinct`: rebuild the dense matrix."""
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode a succinct blob to key-major ``(row_nnz, columns, values)``.
+
+    The shared first half of both decoders: split the blob into its
+    three varint streams, undo the per-row gap encoding, and validate
+    the column range.
+    """
     if len(sections) != 3 or sum(sections) != len(blob):
         raise ArtifactError("succinct blob sections do not cover the blob")
     first, second, _third = sections
@@ -205,10 +243,8 @@ def decode_counts_succinct(
     pairs = int(row_nnz.sum())
     gaps = decode_varints(blob[first:first + second], pairs).astype(np.int64)
     values = decode_varints(blob[first + second:], pairs)
-    dense = np.zeros((num_keys, num_vertices), dtype=np.float64)
     if pairs == 0:
-        return dense
-    row_index = np.repeat(np.arange(num_keys, dtype=np.int64), row_nnz)
+        return row_nnz, np.zeros(0, dtype=np.int64), values
     running = np.cumsum(gaps)
     row_starts = np.cumsum(row_nnz) - row_nnz
     # Undo the global cumsum at each row boundary so gaps restart per row
@@ -219,5 +255,46 @@ def decode_counts_succinct(
     columns = running - np.repeat(base, row_nnz[nonempty])
     if columns.min() < 0 or columns.max() >= num_vertices:
         raise ArtifactError("succinct blob addresses columns out of range")
-    dense[row_index, columns] = values.astype(np.float64)
+    return row_nnz, columns, values
+
+
+def decode_counts_succinct(
+    blob: bytes,
+    sections: Sequence[int],
+    num_keys: int,
+    num_vertices: int,
+) -> np.ndarray:
+    """Inverse of :func:`encode_counts_succinct`: rebuild the dense matrix."""
+    row_nnz, columns, values = _succinct_streams(
+        blob, sections, num_keys, num_vertices
+    )
+    dense = np.zeros((num_keys, num_vertices), dtype=np.float64)
+    if columns.size:
+        row_index = np.repeat(np.arange(num_keys, dtype=np.int64), row_nnz)
+        dense[row_index, columns] = values.astype(np.float64)
     return dense
+
+
+def decode_counts_csr(
+    blob: bytes,
+    sections: Sequence[int],
+    num_keys: int,
+    num_vertices: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode a succinct blob straight to vertex-major CSR arrays.
+
+    Returns ``(indptr, key_row, values)`` ready for
+    :class:`~repro.table.count_table.SuccinctLayer`: the key-major
+    streams are re-sorted by vertex with one stable counting sort over
+    the stored pairs — the dense ``num_keys × n`` matrix is never
+    materialized, so opening a succinct artifact costs O(pairs) memory.
+    """
+    from repro.table.count_table import csr_offsets
+
+    row_nnz, columns, values = _succinct_streams(
+        blob, sections, num_keys, num_vertices
+    )
+    key_of_pair = np.repeat(np.arange(num_keys, dtype=np.int64), row_nnz)
+    order = np.argsort(columns, kind="stable")
+    indptr = csr_offsets(columns, num_vertices)
+    return indptr, key_of_pair[order], values[order]

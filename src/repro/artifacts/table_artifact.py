@@ -3,7 +3,9 @@
 This is the paper's defining systems split made durable: the expensive
 build-up phase runs **once** and leaves a self-describing directory on
 disk; any number of later sampling runs reopen it — dense count blobs
-through ``numpy.memmap`` — and answer queries without rebuilding.
+through ``numpy.memmap``, succinct blobs straight into in-memory
+:class:`~repro.table.count_table.SuccinctLayer` records with no dense
+round-trip — and answer queries without rebuilding.
 
 Directory layout (one table artifact)::
 
@@ -41,7 +43,8 @@ import numpy as np
 
 from repro.artifacts.codec import (
     CODECS,
-    encode_counts_succinct,
+    encode_pairs_succinct,
+    decode_counts_csr,
     decode_counts_succinct,
     pack_keys,
     unpack_keys,
@@ -49,7 +52,7 @@ from repro.artifacts.codec import (
 from repro.colorcoding.coloring import ColoringScheme
 from repro.errors import ArtifactError
 from repro.graph.graph import Graph
-from repro.table.count_table import CountTable, Layer
+from repro.table.count_table import LAYOUTS, CountTable, Layer, SuccinctLayer
 from repro.util.instrument import Instrumentation
 
 __all__ = [
@@ -136,9 +139,10 @@ class TableArtifact:
     directory, manifest:
         Where the artifact lives and its parsed manifest.
     table:
-        The :class:`~repro.table.count_table.CountTable` — dense layers
-        are memory-mapped, succinct layers decoded.  ``None`` until the
-        artifact is opened with a graph.
+        The :class:`~repro.table.count_table.CountTable` — dense-codec
+        layers memory-mapped, succinct-codec layers opened as CSR
+        records (or as forced by ``open_table(layout=...)``).  ``None``
+        until the artifact is opened with a graph.
     coloring:
         The :class:`~repro.colorcoding.coloring.ColoringScheme` the table
         was built under.
@@ -326,12 +330,19 @@ def save_table(
             counts_name = f"layer_{size}.counts.npy"
             np.save(
                 os.path.join(directory, counts_name),
-                np.ascontiguousarray(layer.counts, dtype=np.float64),
+                np.ascontiguousarray(layer.dense_counts(), dtype=np.float64),
             )
             entry["counts"] = _blob_entry(directory, counts_name)
         else:
             counts_name = f"layer_{size}.counts.bin"
-            blob, sections = encode_counts_succinct(layer.counts)
+            # key_major_pairs yields the blob's native stream order for
+            # both layouts, so a dense table and its sealed twin write
+            # byte-identical blobs (and digests) — a succinct-resident
+            # table never materializes a dense matrix to save itself.
+            rows, verts, values = layer.key_major_pairs()
+            blob, sections = encode_pairs_succinct(
+                rows, verts, values, layer.num_keys
+            )
             with open(os.path.join(directory, counts_name), "wb") as handle:
                 handle.write(blob)
             entry["counts"] = _blob_entry(directory, counts_name)
@@ -384,12 +395,21 @@ def open_table(
     graph: Graph,
     mmap: bool = True,
     verify: bool = False,
+    layout: Optional[str] = None,
 ) -> TableArtifact:
     """Reopen a saved table artifact against its host graph.
 
-    Dense count blobs come back memory-mapped (``mmap=True``), so no
-    count is materialized until the sampling phase touches it; succinct
-    blobs are decoded to dense matrices.  Raises a typed
+    ``layout`` picks the in-memory table layout; ``None`` (the default)
+    defers to the ``table_layout`` the build recorded in the manifest,
+    falling back to the codec's *native* layout for artifacts that
+    recorded none: dense count blobs come back memory-mapped
+    (``mmap=True``), so no count is materialized until the sampling
+    phase touches it, and succinct blobs open straight into
+    :class:`~repro.table.count_table.SuccinctLayer` records — one
+    counting sort over the stored pairs, no dense round-trip.  Forcing
+    ``layout="dense"`` decodes succinct blobs to matrices (the old
+    behavior); ``layout="succinct"`` seals memory-mapped dense blobs
+    after reading their nonzero pairs.  Raises a typed
     :class:`~repro.errors.ArtifactError` on a corrupted manifest,
     format-version skew, or graph-fingerprint mismatch; ``verify=True``
     additionally recomputes every blob digest before loading.
@@ -404,6 +424,16 @@ def open_table(
     codec = manifest.get("codec")
     if codec not in CODECS:
         raise ArtifactError(f"manifest names unknown codec {codec!r}")
+    if layout is None:
+        recorded = manifest.get("build", {}).get("table_layout")
+        if recorded in LAYOUTS:
+            layout = recorded
+        else:
+            layout = "succinct" if codec == "succinct" else "dense"
+    if layout not in LAYOUTS:
+        raise ArtifactError(
+            f"unknown table layout {layout!r}; choose from {LAYOUTS}"
+        )
     k = int(manifest["k"])
     try:
         colors = np.load(os.path.join(directory, COLORING_NAME))
@@ -429,14 +459,27 @@ def open_table(
                         f"layer {size} counts have shape {counts.shape}, "
                         f"expected ({num_keys}, {graph.num_vertices})"
                     )
+                loaded: "Layer | SuccinctLayer" = Layer(size, keys, counts)
+                if layout == "succinct":
+                    loaded = SuccinctLayer.from_dense(loaded)
             else:
                 with open(counts_path, "rb") as handle:
                     blob = handle.read()
-                counts = decode_counts_succinct(
-                    blob, entry["counts"]["sections"],
-                    num_keys, graph.num_vertices,
-                )
-            table.set_layer(Layer(size, keys, counts))
+                if layout == "succinct":
+                    indptr, key_row, values = decode_counts_csr(
+                        blob, entry["counts"]["sections"],
+                        num_keys, graph.num_vertices,
+                    )
+                    loaded = SuccinctLayer(
+                        size, keys, indptr, key_row, values
+                    )
+                else:
+                    counts = decode_counts_succinct(
+                        blob, entry["counts"]["sections"],
+                        num_keys, graph.num_vertices,
+                    )
+                    loaded = Layer(size, keys, counts)
+            table.set_layer(loaded)
     except (KeyError, TypeError) as error:
         raise ArtifactError(
             f"corrupted artifact manifest in {directory}: {error!r}"

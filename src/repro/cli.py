@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
              f"batching (default {DEFAULT_BATCH_SIZE})",
     )
     count.add_argument(
+        "--table-layout", choices=["dense", "succinct"], default="dense",
+        help="in-memory count-table layout: dense matrices or the "
+             "paper's succinct CSR records (same estimates either way; "
+             "succinct holds O(stored pairs) resident)",
+    )
+    count.add_argument(
         "--biased-lambda", type=float, default=None,
         help="biased-coloring λ (§3.4); omit for uniform coloring",
     )
@@ -136,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--kernel", choices=["batched", "legacy"], default="batched",
         help="build-up kernel (legacy = per-key correctness oracle)",
+    )
+    build.add_argument(
+        "--table-layout", choices=["dense", "succinct"], default="dense",
+        help="in-memory layout during the build (recorded in the "
+             "artifact; succinct seals layers as they retire from the "
+             "build frontier)",
     )
     build.add_argument(
         "--biased-lambda", type=float, default=None,
@@ -190,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
              "batching (default: the value recorded at build time, "
              f"which keeps sample bit-identical to count; else "
              f"{DEFAULT_BATCH_SIZE})",
+    )
+    sample.add_argument(
+        "--table-layout", choices=["dense", "succinct"], default=None,
+        help="force the in-memory layout when reopening the artifact "
+             "(every member, for ensembles; default: the layout "
+             "recorded at build time, else the codec's native layout; "
+             "estimates are identical either way)",
     )
     sample.add_argument(
         "--verify", action="store_true",
@@ -310,6 +329,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         spill_dir=args.spill_dir,
         kernel=args.kernel,
         batch_size=args.batch_size,
+        table_layout=args.table_layout,
     )
     if args.colorings > 1:
         estimates = _run_ensemble(graph, config, args)
@@ -378,6 +398,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         biased_lambda=args.biased_lambda,
         spill_dir=args.spill_dir,
         kernel=args.kernel,
+        table_layout=args.table_layout,
     )
     start = time.perf_counter()
     if args.colorings > 1:
@@ -454,11 +475,13 @@ def _cmd_sample(args: argparse.Namespace) -> int:
             result = engine.run_ags(
                 args.samples, args.cover_threshold,
                 artifact=args.artifact, batch_size=args.batch_size,
+                table_layout=args.table_layout,
             )
         else:
             result = engine.run_naive(
                 args.samples,
                 artifact=args.artifact, batch_size=args.batch_size,
+                table_layout=args.table_layout,
             )
         estimates = result.estimates
         print(
@@ -469,7 +492,8 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         )
     else:
         counter = MotivoCounter.from_artifact(
-            graph, args.artifact, verify=args.verify, reseed=args.seed
+            graph, args.artifact, verify=args.verify, reseed=args.seed,
+            table_layout=args.table_layout,
         )
         # from_artifact restored the recorded batch_size; only an
         # explicit flag overrides it (chunking changes the draw stream).

@@ -38,6 +38,19 @@ reopen (§3.1/§3.3, :class:`~repro.table.layer_store.SpillLayerStore`), or
 vertex-range sharding (:class:`~repro.table.layer_store.ShardedStore`).
 0-rooting (§3.2) restricts the size-``k`` layer to roots of color 0,
 shrinking it by a factor ``k``.
+
+Table layout (``layout="succinct"``).  The kernels need the matrix form
+while a layer is still on the build frontier (SpMM operands, blocked
+prime-side gathers), so layers are always *built* dense — but with the
+succinct layout requested each layer is **sealed** to the paper's CSR
+records the moment it retires from the frontier, i.e. once no later
+level's combination plans reference its size.  Equation (1) lets every
+level consume every smaller size, so the pre-``k`` layers stay dense
+until the final level — the size-``k`` layer, the dominant one at
+scale, never exists dense beyond its own install, and the whole table
+leaves the build succinct.  Sealing changes the representation only
+(the stored values are the same integer-valued floats), so the two
+layouts produce bit-identical downstream results.
 """
 
 from __future__ import annotations
@@ -56,7 +69,7 @@ from repro.colorcoding.plans import (
     level_plans,
 )
 from repro.graph.graph import Graph
-from repro.table.count_table import CountTable, Layer
+from repro.table.count_table import LAYOUTS, CountTable, Layer
 from repro.table.flush import SpillStore
 from repro.table.layer_store import LayerStore, resolve_store
 from repro.treelets.encoding import getsize
@@ -91,6 +104,7 @@ def build_table(
     store: Optional[LayerStore] = None,
     instrumentation: Optional[Instrumentation] = None,
     kernel: str = "batched",
+    layout: str = "dense",
 ) -> CountTable:
     """Run the build-up phase and return the treelet count table.
 
@@ -120,6 +134,12 @@ def build_table(
     kernel:
         ``"batched"`` (default) or ``"legacy"``; both produce bit-identical
         tables.
+    layout:
+        In-memory layout of the finished table: ``"dense"`` (the
+        matrices, as built) or ``"succinct"`` (the paper's CSR records;
+        layers seal as they retire from the build frontier — see the
+        module docstring).  Both layouts answer every table operation
+        bit-identically.
     """
     k = coloring.k
     if k < 2:
@@ -134,6 +154,10 @@ def build_table(
         raise BuildError(f"registry is for k={registry.k}, coloring for k={k}")
     if kernel not in KERNELS:
         raise BuildError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+    if layout not in LAYOUTS:
+        raise BuildError(
+            f"unknown table layout {layout!r}; choose from {LAYOUTS}"
+        )
     instrumentation = instrumentation or Instrumentation()
     layer_store = resolve_store(store, spill)
 
@@ -151,19 +175,71 @@ def build_table(
         _install(layer_store, table, 1, level_one)
 
         zero_mask = coloring.indicator(0) if zero_rooting else None
+        sealer = _FrontierSealer(registry, layout, layer_store, instrumentation)
         if kernel == "batched":
             _run_batched(
                 table, registry, adjacency, coloring.colors, zero_mask,
-                layer_store, instrumentation,
+                layer_store, instrumentation, sealer,
             )
         else:
             _run_legacy(
                 table, registry, adjacency, zero_mask, layer_store,
-                instrumentation,
+                instrumentation, sealer,
             )
 
-    layer_store.finalize(table, instrumentation)
+    layer_store.finalize(table, instrumentation, layout=layout)
+    if layout == "succinct":
+        # Catch anything neither the in-loop sealing nor the store's
+        # finalize converted (degenerate builds, custom stores).
+        table.seal("succinct")
     return table
+
+
+class _FrontierSealer:
+    """Seals layers to the succinct layout as they retire (see module
+    docstring).  A layer retires after the last level whose combination
+    plans reference its size; the size-``k`` layer is never a source, so
+    it retires the moment it is installed.  Non-resident stores skip the
+    in-loop pass — their finalize step replaces every resident layer
+    anyway — and get one seal at the end of the build instead.
+    """
+
+    def __init__(
+        self,
+        registry: TreeletRegistry,
+        layout: str,
+        store: LayerStore,
+        instrumentation: Instrumentation,
+    ):
+        self.active = layout == "succinct" and store.resident
+        self.last_use: Dict[int, int] = {}
+        if self.active:
+            for h, plan in level_plans(registry).items():
+                for group in plan.groups:
+                    for size in (group.h_prime, group.h_second):
+                        self.last_use[size] = max(
+                            self.last_use.get(size, 0), h
+                        )
+        self.instrumentation = instrumentation
+
+    def after_level(
+        self, table: CountTable, level: int, *sum_caches: Dict
+    ) -> None:
+        """Seal every resident dense layer with no use beyond ``level``,
+        releasing its entries in the kernels' neighbor-sum caches."""
+        if not self.active:
+            return
+        for size in range(1, level + 1):
+            if self.last_use.get(size, 0) > level:
+                continue
+            if not table.has_layer(size):
+                continue
+            if table.layer(size).layout != "dense":
+                continue
+            table.seal("succinct", sizes=[size])
+            self.instrumentation.count("sealed_layers")
+            for cache in sum_caches:
+                cache.pop(size, None)
 
 
 def _install(
@@ -194,6 +270,7 @@ def _run_batched(
     zero_mask: Optional[np.ndarray],
     store: LayerStore,
     instrumentation: Instrumentation,
+    sealer: "_FrontierSealer",
 ) -> None:
     k, n = table.k, table.num_vertices
     compiled = compile_plans(registry)
@@ -290,6 +367,8 @@ def _run_batched(
             store.install(table, h, keys, out)
         else:
             store.install(table, h, [keys[i] for i in keep], out[keep])
+        del out
+        sealer.after_level(table, h, neighbor_sums, neighbor_sums_cm)
 
 
 try:  # pragma: no cover - import guard
@@ -684,6 +763,7 @@ def _run_legacy(
     zero_mask: Optional[np.ndarray],
     store: LayerStore,
     instrumentation: Instrumentation,
+    sealer: "_FrontierSealer",
 ) -> None:
     k = table.k
     for h in range(2, k + 1):
@@ -733,3 +813,4 @@ def _run_legacy(
                         continue
                 entries[(treelet, mask)] = accumulated
         _install(store, table, h, entries)
+        sealer.after_level(table, h)

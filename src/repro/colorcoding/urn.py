@@ -57,6 +57,14 @@ neighbor buffering, which ``sample()`` still uses for its scalar draws.
 The matrices hold one ``2m``-float row per key the descent actually
 visits (grow-on-demand slots), never the whole key universe.
 
+Table layouts: every table access goes through the
+:class:`~repro.table.count_table.LayerView` protocol (``row_values`` for
+the gathered-cumulative rows, ``values_at`` for the split weights and
+child counts), so the urn works unchanged — and bit-identically — over
+dense matrices and the sealed succinct CSR records alike; the succinct
+layout answers the point lookups by binary search on its packed pair
+index instead of direct indexing.
+
 Neighbor buffering (§3.2): materializing a copy repeatedly draws a child
 endpoint ``u ~ v`` with probability ∝ c(T''_{C''}, u), which costs a Θ(d_v)
 sweep.  For vertices with ``d_v`` above a threshold the urn draws 100
@@ -291,8 +299,8 @@ class TreeletUrn:
         layer = self.table.layer(self.k)
         weights = []
         for rooted in variants:
-            row = layer.counts_for(rooted, self._full_mask)
-            weights.append(0.0 if row is None else float(row[root]))
+            row = layer.row_of(rooted, self._full_mask)
+            weights.append(0.0 if row is None else layer.value_at(row, root))
         total = sum(weights)
         if total <= 0:
             raise SamplingError(f"vertex {root} roots no copies of shape {shape}")
@@ -444,9 +452,11 @@ class TreeletUrn:
         layer = self.table.layer(self.k)
         weights = np.zeros((roots.size, len(variants)), dtype=np.float64)
         for j, rooted in enumerate(variants):
-            row = layer.counts_for(rooted, self._full_mask)
+            row = layer.row_of(rooted, self._full_mask)
             if row is not None:
-                weights[:, j] = row[roots]
+                weights[:, j] = layer.values_at(
+                    np.asarray([row], dtype=np.int64), roots
+                )[0]
         cumulative = np.cumsum(weights, axis=1)
         totals = cumulative[:, -1]
         if np.any(totals <= 0):
@@ -554,7 +564,7 @@ class TreeletUrn:
                     slot = len(slot_of)
                     slot_of[row] = slot
                     np.cumsum(
-                        layer.counts[row][self.graph.indices],
+                        layer.row_values(row)[self.graph.indices],
                         out=matrix[slot, 1:],
                     )
                     self._gathered_cached_rows += 1
@@ -570,7 +580,7 @@ class TreeletUrn:
                         transient[i] = entry["matrix"][slot]
                     else:
                         np.cumsum(
-                            layer.counts[row][self.graph.indices],
+                            layer.row_values(row)[self.graph.indices],
                             out=transient[i, 1:],
                         )
                         self.instrumentation.count(
@@ -719,7 +729,7 @@ class TreeletUrn:
             gathered[second_slots[:, None], ends[None, :]]
             - gathered[second_slots[:, None], starts[None, :]]
         )
-        prime_vals = layer_prime.counts[prime_rows[:, None], v[None, :]]
+        prime_vals = layer_prime.values_at(prime_rows, v)
         weights = np.where(
             (prime_vals > 0.0) & (s_vals > 0.0),
             prime_vals * s_vals,
@@ -821,16 +831,18 @@ class TreeletUrn:
         splits: List[Tuple[int, int, np.ndarray, float]] = []
         weights: List[float] = []
         for sub_mask in iter_subsets_of_size(mask, h_second):
-            counts_second = layer_second.counts_for(t_second, sub_mask)
-            if counts_second is None:
+            row_second = layer_second.row_of(t_second, sub_mask)
+            if row_second is None:
                 continue
-            row_prime = layer_prime.counts_for(t_prime, mask ^ sub_mask)
+            row_prime = layer_prime.row_of(t_prime, mask ^ sub_mask)
             if row_prime is None:
                 continue
-            count_prime = float(row_prime[v])
+            count_prime = layer_prime.value_at(row_prime, v)
             if count_prime <= 0.0:
                 continue
-            neighbor_counts = counts_second[neighbors]
+            neighbor_counts = layer_second.values_at(
+                np.asarray([row_second], dtype=np.int64), neighbors
+            )[0]
             neighbor_total = float(neighbor_counts.sum())
             if neighbor_total <= 0.0:
                 continue

@@ -17,8 +17,10 @@ outer loop:
   the engine degrades to serial execution rather than failing.  Sampling
   parallelizes across colorings exactly like build-up: each worker runs
   its whole pipeline — including the vectorized ``batch_size`` sampling
-  chunks configured on :class:`~repro.motivo.MotivoConfig` — so batching
-  and process fan-out compose.
+  chunks and the ``table_layout`` (dense matrices or the succinct CSR
+  records, which cut each member's resident table memory) configured on
+  :class:`~repro.motivo.MotivoConfig` — so batching, layout, and process
+  fan-out compose.
 * **Merged instrumentation.**  Every run's counters and timers fold into
   one :class:`~repro.util.instrument.Instrumentation` via its snapshot
   transport, so ``merge_ops``/``spmm_ops``/``buildup`` totals cover the
@@ -117,6 +119,7 @@ class _RunSpec:
     codec: str = "dense"
     cleanup: bool = True
     batch_size: Optional[int] = None
+    table_layout: Optional[str] = None
 
 
 def _execute_run(
@@ -138,8 +141,12 @@ def _execute_run(
         # The member artifact's manifest is authoritative: it records the
         # full build config (child seed, buffers, batch size) alongside
         # the post-build RNG state, which is what makes artifact-backed
-        # sampling bit-identical to the live ensemble.
-        counter = MotivoCounter.from_artifact(graph, spec.load_dir)
+        # sampling bit-identical to the live ensemble.  An explicit
+        # table_layout overrides only the in-memory representation —
+        # both layouts answer identically, so the guarantee holds.
+        counter = MotivoCounter.from_artifact(
+            graph, spec.load_dir, table_layout=spec.table_layout
+        )
     else:
         config = replace(config, seed=spec.seed)
         if config.spill_dir is not None:
@@ -247,6 +254,7 @@ class PipelineEngine:
         seeds: Optional[Sequence[int]] = None,
         artifact=None,
         batch_size: Optional[int] = None,
+        table_layout: Optional[str] = None,
     ) -> EnsembleResult:
         """Ensemble of naive-sampling runs, averaged.
 
@@ -257,10 +265,14 @@ class PipelineEngine:
         manifests, making the result bit-identical to the live ensemble
         that built it.  ``batch_size`` explicitly overrides the sampling
         chunk size per member (chunking changes the draw stream, so the
-        bit-identity guarantee only holds without an override).
+        bit-identity guarantee only holds without an override);
+        ``table_layout`` overrides each reopened member's in-memory
+        layout (representation only — estimates are identical, so this
+        never threatens the guarantee).
         """
         return self._run(
-            "naive", samples_per_run, 0, seeds, artifact, batch_size
+            "naive", samples_per_run, 0, seeds, artifact, batch_size,
+            table_layout,
         )
 
     def run_ags(
@@ -270,11 +282,12 @@ class PipelineEngine:
         seeds: Optional[Sequence[int]] = None,
         artifact=None,
         batch_size: Optional[int] = None,
+        table_layout: Optional[str] = None,
     ) -> EnsembleResult:
         """Ensemble of AGS runs, averaged (``artifact`` as in naive)."""
         return self._run(
             "ags", budget_per_run, cover_threshold, seeds, artifact,
-            batch_size,
+            batch_size, table_layout,
         )
 
     def build_artifact(
@@ -359,6 +372,7 @@ class PipelineEngine:
         seeds: Optional[Sequence[int]],
         artifact=None,
         batch_size: Optional[int] = None,
+        table_layout: Optional[str] = None,
     ) -> EnsembleResult:
         members: Optional[List[Optional[str]]] = None
         if artifact is not None:
@@ -396,6 +410,7 @@ class PipelineEngine:
                     load_dir=member,
                     cleanup=self.cleanup_spill,
                     batch_size=batch_size,
+                    table_layout=table_layout,
                 )
             )
         instrumentation = Instrumentation()

@@ -66,6 +66,7 @@ __all__ = ["MotivoConfig", "MotivoCounter"]
 _BUILD_FIELDS = (
     "k", "seed", "zero_rooting", "biased_lambda",
     "buffer_threshold", "buffer_size", "kernel", "batch_size",
+    "table_layout",
 )
 
 
@@ -100,6 +101,13 @@ class MotivoConfig:
         chunk cap).  ``<= 1`` falls back to the original per-sample draw
         loop; the two regimes consume the generator differently, so
         estimates are reproducible per ``(seed, batch_size)``.
+    table_layout:
+        In-memory count-table layout: ``"dense"`` (the build kernels'
+        matrix form, the default) or ``"succinct"`` (the paper's CSR
+        records — layers seal as they retire from the build frontier,
+        shrinking resident memory to O(stored pairs)).  Both layouts
+        produce bit-identical estimates for a fixed seed, so the choice
+        is purely a memory/speed trade.
     artifact_dir:
         When set (and ``seed`` is fixed), :meth:`MotivoCounter.build`
         goes through a content-addressed
@@ -123,6 +131,7 @@ class MotivoConfig:
     sigma_cache_dir: Optional[str] = None
     kernel: str = "batched"
     batch_size: int = DEFAULT_BATCH_SIZE
+    table_layout: str = "dense"
     artifact_dir: Optional[str] = None
     artifact_codec: str = "dense"
 
@@ -189,6 +198,7 @@ class MotivoCounter:
             store=self.store,
             instrumentation=self.instrumentation,
             kernel=config.kernel,
+            layout=config.table_layout,
         )
         self._finish_build(table)
         return self.urn
@@ -203,7 +213,9 @@ class MotivoCounter:
         slot = cache.lookup(self.graph, config, config.artifact_codec)
         if slot is not None:
             try:
-                artifact = open_table(slot, self.graph)
+                artifact = open_table(
+                    slot, self.graph, layout=config.table_layout
+                )
             except ArtifactError:
                 # A stale slot (version skew after an upgrade, truncated
                 # blobs) is a miss, not a failure: evict and rebuild.
@@ -286,21 +298,32 @@ class MotivoCounter:
         mmap: bool = True,
         verify: bool = False,
         reseed: "Optional[int]" = None,
+        table_layout: "Optional[str]" = None,
     ) -> "MotivoCounter":
         """Reopen a saved table artifact as a ready-to-sample counter.
 
         The expensive build-up phase is skipped entirely: dense count
-        blobs are memory-mapped (``mmap=True``), the stored coloring and
-        build parameters are adopted, and the master RNG resumes from
-        the recorded post-build state — so for a fixed seed the returned
+        blobs are memory-mapped (``mmap=True``), succinct blobs open
+        straight into CSR records, the stored coloring and build
+        parameters are adopted, and the master RNG resumes from the
+        recorded post-build state — so for a fixed seed the returned
         counter's estimates are bit-identical to a one-shot
-        build-and-sample run.  ``config`` overrides the sampling-side
-        parameters (its ``k``/``seed`` must agree with the artifact);
-        ``reseed`` discards the stored stream and starts a fresh one.
+        build-and-sample run (whatever the layout: the layouts answer
+        every table operation identically).  ``config`` overrides the
+        sampling-side parameters (its ``k``/``seed`` must agree with the
+        artifact); ``reseed`` discards the stored stream and starts a
+        fresh one; ``table_layout`` forces the in-memory layout, beating
+        both ``config`` and the layout recorded at build time (which
+        otherwise win, in that order — ``open_table`` falls back to the
+        codec's native layout for artifacts predating the field).
         """
         from repro.artifacts import open_table
 
-        artifact = open_table(directory, graph, mmap=mmap, verify=verify)
+        if table_layout is None and config is not None:
+            table_layout = config.table_layout
+        artifact = open_table(
+            directory, graph, mmap=mmap, verify=verify, layout=table_layout
+        )
         stored = artifact.build
         if config is None:
             known = {

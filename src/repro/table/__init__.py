@@ -7,21 +7,42 @@ keyed by treelet pointers; motivo replaces this with sorted compact records
 of ``(packed key, cumulative count)`` pairs supporting ``occ``, ``iter``
 and ``sample`` in O(k).
 
-Here :class:`~repro.table.count_table.CountTable` is the motivo-style
-structure (columnar over vertices, sorted by packed key, cumulative sums
-available), :class:`~repro.table.hash_table.HashCountTable` is the CC
-baseline, :mod:`repro.table.flush` adds greedy flushing to disk with
-memory-mapped reads (§3.1 "Greedy flushing" and §3.3 "Memory-mapped
-reads"), and :mod:`repro.table.layer_store` unifies where finished layers
-live (resident, spilled + memory-mapped, or sharded by vertex range)
-behind one ``LayerStore`` interface — a context manager whose ``close``
+Here :class:`~repro.table.count_table.CountTable` holds one
+:class:`~repro.table.count_table.LayerView` per treelet size, in either
+of two interchangeable layouts: :class:`~repro.table.count_table.DenseLayer`
+(columnar ``num_keys × n`` matrices — the build kernels' working form)
+or :class:`~repro.table.count_table.SuccinctLayer` (the paper's
+per-vertex CSR records, O(stored pairs) resident; tables *seal* to it
+via :meth:`~repro.table.count_table.CountTable.seal`).
+:class:`~repro.table.hash_table.HashCountTable` is the CC baseline,
+:mod:`repro.table.flush` adds greedy flushing to disk with memory-mapped
+reads (§3.1 "Greedy flushing" and §3.3 "Memory-mapped reads"), and
+:mod:`repro.table.layer_store` unifies where finished layers live
+(resident, spilled + memory-mapped, or sharded by vertex range) behind
+one ``LayerStore`` interface — a context manager whose ``close``
 releases on-disk scratch state and whose ``export_artifact`` hands the
 finished table to :mod:`repro.artifacts` for durable build-once /
 sample-many reuse.
 """
 
-from repro.table.count_table import CountTable, Layer
+from repro.table.count_table import (
+    LAYOUTS,
+    CountTable,
+    DenseLayer,
+    Layer,
+    LayerView,
+    SuccinctLayer,
+)
 from repro.table.hash_table import HashCountTable
 from repro.table.flush import SpillStore
 
-__all__ = ["CountTable", "Layer", "HashCountTable", "SpillStore"]
+__all__ = [
+    "LAYOUTS",
+    "CountTable",
+    "DenseLayer",
+    "Layer",
+    "LayerView",
+    "SuccinctLayer",
+    "HashCountTable",
+    "SpillStore",
+]

@@ -34,7 +34,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import TableError
-from repro.table.count_table import Layer
+from repro.table.count_table import LAYOUTS, Layer, LayerView, SuccinctLayer
 
 __all__ = ["SpillStore", "remove_scratch"]
 
@@ -116,8 +116,20 @@ class SpillStore:
     # Read path
     # ------------------------------------------------------------------
 
-    def load_layer(self, size: int, mmap: bool = True) -> Layer:
-        """Reopen a spilled layer; counts are memory-mapped by default."""
+    def load_layer(
+        self, size: int, mmap: bool = True, layout: str = "dense"
+    ) -> LayerView:
+        """Reopen a spilled layer; counts are memory-mapped by default.
+
+        ``layout="succinct"`` converts straight to the CSR records while
+        reading *through* the memory map — the nonzero pairs are the
+        only arrays ever allocated, so reopening a spilled build into
+        the succinct layout never holds a second dense matrix.
+        """
+        if layout not in LAYOUTS:
+            raise TableError(
+                f"unknown table layout {layout!r}; choose from {LAYOUTS}"
+            )
         key_path = self._key_path(size)
         if not os.path.exists(key_path):
             raise TableError(f"no spilled layer of size {size} in {self.directory}")
@@ -128,7 +140,10 @@ class SpillStore:
         keys: List[Key] = [
             (int(treelet), int(mask)) for treelet, mask in key_array
         ]
-        return Layer(size, keys, counts)
+        layer = Layer(size, keys, counts)
+        if layout == "succinct":
+            return SuccinctLayer.from_dense(layer)
+        return layer
 
     def spilled_sizes(self) -> "list[int]":
         """Treelet sizes currently on disk, ascending."""

@@ -81,8 +81,17 @@ class LayerStore(ABC):
         self,
         table: CountTable,
         instrumentation: Optional[Instrumentation] = None,
+        layout: str = "dense",
     ) -> None:
-        """Post-build pass (sorting, reopening); default is a no-op."""
+        """Post-build pass (sorting, reopening); default is a no-op.
+
+        ``layout`` names the in-memory layout the finished table should
+        end up in; stores that replace resident layers here (the spill
+        store swaps in its sorted memory-mapped files) honor it so a
+        succinct build never round-trips through a second dense matrix.
+        Resident stores ignore it — the build-up seals their layers as
+        the frontier retires them.
+        """
 
     def bytes_on_disk(self) -> int:
         """Bytes this store persisted outside process memory."""
@@ -163,13 +172,16 @@ class SpillLayerStore(LayerStore):
         self,
         table: CountTable,
         instrumentation: Optional[Instrumentation] = None,
+        layout: str = "dense",
     ) -> None:
         instrumentation = instrumentation or Instrumentation()
         with instrumentation.timer("sort_pass"):
             self.spill.sort_pass()
         for size in self.spill.spilled_sizes():
             table.drop_layer(size)
-            table.set_layer(self.spill.load_layer(size, mmap=True))
+            table.set_layer(
+                self.spill.load_layer(size, mmap=True, layout=layout)
+            )
 
     def bytes_on_disk(self) -> int:
         return self.spill.bytes_on_disk()

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.errors import TableError
-from repro.table.count_table import CountTable, Layer
+from repro.table.count_table import (
+    CountTable,
+    DenseLayer,
+    Layer,
+    SuccinctLayer,
+)
 from repro.treelets.encoding import SINGLETON, encode_children, merge
 
 EDGE = merge(SINGLETON, SINGLETON)
@@ -58,6 +63,114 @@ class TestLayer:
     def test_nonzero_pairs(self):
         assert make_table().layer(2).nonzero_pairs() == 4
 
+    def test_layer_alias_is_dense(self):
+        assert Layer is DenseLayer
+        assert make_table().layer(2).layout == "dense"
+
+    def test_treelet_rows_contiguous_range(self):
+        layer = make_table().layer(2)
+        rows = layer.treelet_rows(EDGE)
+        assert isinstance(rows, range)
+        assert list(rows) == [0, 1]
+        assert layer.treelet_rows(PATH3) == range(0, 0)
+
+
+class TestSuccinctLayer:
+    def test_from_dense_round_trip(self):
+        for size in (1, 2, 3):
+            dense = make_table().layer(size)
+            sealed = SuccinctLayer.from_dense(dense)
+            assert sealed.keys == dense.keys
+            assert sealed.nonzero_pairs() == dense.nonzero_pairs()
+            assert np.array_equal(sealed.dense_counts(), dense.counts)
+            assert np.array_equal(sealed.totals(), dense.totals())
+            for row in range(dense.num_keys):
+                assert np.array_equal(
+                    sealed.row_values(row), dense.counts[row]
+                )
+                for v in range(dense.num_vertices):
+                    assert sealed.value_at(row, v) == dense.counts[row, v]
+
+    def test_values_stored_at_minimal_dtype(self):
+        sealed = SuccinctLayer.from_dense(make_table().layer(3))
+        assert sealed.values.dtype == np.uint8
+        assert sealed.key_row.dtype == np.uint8
+        big = DenseLayer(
+            2, [(EDGE, 0b011)], np.array([[0.0, 70000.0]])
+        )
+        assert SuccinctLayer.from_dense(big).values.dtype == np.uint32
+
+    def test_non_integer_counts_stay_float(self):
+        layer = DenseLayer(2, [(EDGE, 0b011)], np.array([[0.5, 2.0]]))
+        sealed = SuccinctLayer.from_dense(layer)
+        assert sealed.values.dtype == np.float64
+        assert sealed.value_at(0, 0) == 0.5
+
+    def test_values_at_matches_dense_gather(self):
+        dense = make_table().layer(3)
+        sealed = SuccinctLayer.from_dense(dense)
+        rows = np.array([0, 1, 0])
+        verts = np.array([3, 0, 2, 1])
+        assert np.array_equal(
+            sealed.values_at(rows, verts), dense.values_at(rows, verts)
+        )
+
+    def test_key_major_pairs_match(self):
+        dense = make_table().layer(3)
+        sealed = SuccinctLayer.from_dense(dense)
+        for a, b in zip(dense.key_major_pairs(), sealed.key_major_pairs()):
+            assert np.array_equal(a, b)
+
+    def test_sampling_parity_with_dense(self):
+        dense = make_table().layer(3)
+        sealed = SuccinctLayer.from_dense(dense)
+        us = np.random.default_rng(4).random(64)
+        for u in us.tolist():
+            for v in (0, 1, 3):
+                assert sealed.sample_row_at(v, u) == dense.sample_row_at(v, u)
+        roots = np.array([0, 1, 3] * 8)
+        assert np.array_equal(
+            sealed.sample_rows_batch(roots, us[: roots.size]),
+            dense.sample_rows_batch(roots, us[: roots.size]),
+        )
+        # An empty record raises the same error as the dense zero column.
+        empty = SuccinctLayer.from_dense(
+            DenseLayer(2, [(EDGE, 0b011)], np.array([[0.0, 3.0]]))
+        )
+        with pytest.raises(TableError):
+            empty.sample_row_at(0, 0.5)
+        with pytest.raises(TableError):
+            empty.sample_rows_batch(np.array([0]), np.array([0.5]))
+
+    def test_memory_bytes_counts_lazy_caches(self):
+        sealed = SuccinctLayer.from_dense(make_table().layer(3))
+        base = sealed.memory_bytes()
+        sealed.sample_row_at(0, 0.5)  # builds the cumulative records
+        assert sealed.memory_bytes() > base
+
+    def test_csr_validation(self):
+        with pytest.raises(TableError):
+            SuccinctLayer(
+                2, [(EDGE, 0b101), (EDGE, 0b011)],  # unsorted keys
+                np.array([0, 1]), np.array([0]), np.array([1.0]),
+            )
+        with pytest.raises(TableError):
+            SuccinctLayer(
+                2, [(EDGE, 0b011)],
+                np.array([0, 2]), np.array([0]), np.array([1.0]),
+            )
+        with pytest.raises(TableError):
+            SuccinctLayer(
+                2, [(EDGE, 0b011)],
+                np.array([0, 1]), np.array([5]), np.array([1.0]),
+            )
+        with pytest.raises(TableError):
+            # Key rows must strictly ascend within a record.
+            SuccinctLayer(
+                2, [(EDGE, 0b011), (EDGE, 0b101)],
+                np.array([0, 2]), np.array([1, 0]), np.array([1.0, 2.0]),
+            )
+
 
 class TestCountTable:
     def test_k_validation(self):
@@ -108,6 +221,25 @@ class TestCountTable:
         assert etas == sorted(etas)
         assert etas[-1] == table.occ_total(0)
         assert keys == sorted(keys)
+
+    def test_cumulative_record_nonzero_only(self):
+        # Like record (and the paper's records): zero-count keys are
+        # omitted, and the keys match record's exactly.
+        table = make_table()
+        sparse = table.cumulative_record(1, 3)
+        assert sparse == [((PATH3, 0b111), 1.0)]
+        assert [key for key, _ in sparse] == [
+            key for key, _ in table.record(1, 3)
+        ]
+
+    def test_seal_round_trip(self):
+        table = make_table().seal("succinct")
+        assert table.layout() == "succinct"
+        reference = make_table()
+        for v in range(4):
+            for h in (1, 2, 3):
+                assert table.record(v, h) == reference.record(v, h)
+        assert table.actual_bytes() < reference.actual_bytes()
 
     def test_root_weights(self):
         table = make_table()
