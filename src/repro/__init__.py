@@ -21,6 +21,10 @@ Public entry points
 :mod:`repro.artifacts`
     Persistent table artifacts: build once, sample many
     (``docs/artifacts.md`` specifies the on-disk format).
+:mod:`repro.serve`
+    The long-lived sampling service: warm artifact handles, per-session
+    RNG streams, coalesced concurrent draws, JSON-over-HTTP API
+    (``docs/serving.md`` documents the determinism contract).
 :mod:`repro.exact`
     Exact ground-truth counting (ESU) for validation.
 
@@ -38,6 +42,7 @@ from repro.errors import (
     MergeError,
     ReproError,
     SamplingError,
+    ServeError,
     TableError,
     TreeletError,
 )
@@ -61,5 +66,6 @@ __all__ = [
     "ArtifactError",
     "BuildError",
     "SamplingError",
+    "ServeError",
     "__version__",
 ]

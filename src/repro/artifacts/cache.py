@@ -138,8 +138,69 @@ class ArtifactCache:
     # Management
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _tmp_owner_alive(name: str) -> bool:
+        """Whether the writer of a ``<key>.tmp-<pid>`` dir still runs.
+
+        Conservative: an unparseable suffix or a pid this user cannot
+        signal (``PermissionError``: the pid exists, owned by someone
+        else) counts as alive — only a provably dead owner makes the
+        directory stale.
+        """
+        try:
+            pid = int(name.rsplit(".tmp-", 1)[1])
+        except (IndexError, ValueError):
+            return True
+        if pid == os.getpid():
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True
+        except OSError:
+            return True
+        return True
+
+    def reap_stale_tmp(self) -> int:
+        """Remove crash-leftover write dirs whose owning pid is dead.
+
+        ``<key>.tmp-<pid>`` directories belong to in-flight writers;
+        once the writer pid is gone they can only be leftovers of a
+        crashed build (a successful :meth:`admit` renames them away).
+        Same-pid and live-writer dirs are never touched.  Returns how
+        many directories were removed; called automatically by
+        :meth:`entries`, so any listing keeps the cache tidy across
+        pids — not just the pid that crashed.
+        """
+        reaped = 0
+        for name in os.listdir(self.root):
+            if ".tmp-" not in name:
+                continue
+            if self._tmp_owner_alive(name):
+                continue
+            path = os.path.join(self.root, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            # Count only what is actually gone, so a path rmtree could
+            # not remove is not re-reported as reaped on every listing.
+            if not os.path.exists(path):
+                reaped += 1
+        return reaped
+
     def entries(self) -> List[CacheEntry]:
-        """Every complete artifact in the cache, newest first."""
+        """Every complete artifact in the cache, newest first.
+
+        Listing doubles as maintenance: stale cross-pid ``.tmp``
+        write directories (crashed builders) are reaped first.
+        """
+        self.reap_stale_tmp()
         found: List[CacheEntry] = []
         for name in sorted(os.listdir(self.root)):
             slot = os.path.join(self.root, name)
@@ -204,5 +265,21 @@ class ArtifactCache:
         TableArtifact(slot, load_manifest(slot)).verify()
 
     def bytes_on_disk(self) -> int:
-        """Total payload bytes across every cached artifact."""
-        return sum(entry.payload_bytes for entry in self.entries())
+        """Actual bytes the cache occupies on disk.
+
+        Walks the cache root and sums every file — payload blobs,
+        manifests, and any in-flight (or not-yet-reaped) ``.tmp`` write
+        directories — so the number answers "how much disk is this cache
+        really using", not the manifest-declared payload subtotal
+        (which is still available per entry as ``payload_bytes``).
+        """
+        total = 0
+        for directory, _subdirs, files in os.walk(self.root):
+            for name in files:
+                try:
+                    total += os.path.getsize(os.path.join(directory, name))
+                except OSError:
+                    # A concurrent evict can race the walk; a vanished
+                    # file simply no longer occupies disk.
+                    continue
+        return total

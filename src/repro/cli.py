@@ -15,6 +15,9 @@ this CLI mirrors that workflow:
     Reopen a persisted artifact — dense layers memory-mapped, no
     rebuild — and print estimates.  With the seed fixed at build time
     the output is bit-identical to a one-shot ``count``.
+``motivo-py serve --artifact-dir DIR --port P``
+    Long-lived serving: keep the cached tables warm and answer
+    concurrent ``/count`` JSON queries (see ``docs/serving.md``).
 ``motivo-py exact <graph> --k 4``
     Exact ESU counts (small graphs only).
 ``motivo-py info <graph>``
@@ -34,7 +37,7 @@ from repro.errors import ReproError
 from repro.exact.esu import exact_counts
 from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.graph import Graph
-from repro.graph.io import load_binary, load_edge_list, save_binary, save_edge_list
+from repro.graph.io import load_graph, save_binary, save_edge_list
 from repro.graphlets.encoding import decode_graphlet, graphlet_edge_count
 from repro.motivo import MotivoConfig, MotivoCounter
 from repro.sampling.naive import DEFAULT_BATCH_SIZE
@@ -225,6 +228,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the estimates as JSON to this path",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve count queries over warm artifacts (JSON over HTTP)",
+    )
+    serve.add_argument(
+        "--artifact-dir", required=True,
+        help="artifact cache root to serve (the build --output / "
+             "MotivoConfig.artifact_dir directory)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral one; default 8765)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+
     exact = commands.add_parser("exact", help="exact ESU counts (small graphs)")
     exact.add_argument("graph")
     exact.add_argument("--k", type=int, default=4)
@@ -254,11 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_graph(spec: str) -> Graph:
-    if spec in dataset_names():
-        return load_dataset(spec)
-    if spec.endswith(".npz"):
-        return load_binary(spec)
-    return load_edge_list(spec)
+    return load_graph(spec)
 
 
 def _describe(bits: int, k: int) -> str:
@@ -300,6 +318,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _report_estimates(estimates, top: int, noninduced: bool, output) -> None:
     """Shared tail of ``count`` and ``sample``: table, conversions, JSON."""
     k = estimates.k
+    if estimates.empty_urn:
+        print(
+            "empty urn: the coloring produced no colorful k-treelets "
+            "(reporting 0 occurrences for every graphlet)"
+        )
     print(
         f"distinct graphlets observed: {estimates.distinct_graphlets()}; "
         f"estimated total copies: {estimates.total:.3e}"
@@ -513,6 +536,31 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SamplingService, serve_http
+
+    service = SamplingService(args.artifact_dir)
+    entries = service.artifacts()
+    server = serve_http(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving {len(entries)} artifact(s) from {args.artifact_dir} "
+        f"on http://{host}:{port} (/count /artifacts /healthz); "
+        "Ctrl-C stops",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def _cmd_exact(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     start = time.perf_counter()
@@ -589,6 +637,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count": _cmd_count,
         "build": _cmd_build,
         "sample": _cmd_sample,
+        "serve": _cmd_serve,
         "exact": _cmd_exact,
         "info": _cmd_info,
         "suggest-lambda": _cmd_suggest_lambda,

@@ -316,8 +316,23 @@ class TreeletUrn:
     # Batched sampling
     # ------------------------------------------------------------------
 
+    @property
+    def draw_width(self) -> int:
+        """Uniform-matrix width of the batched draw discipline.
+
+        A pre-drawn batch of ``n`` samples is one ``rng.random((n,
+        draw_width))`` block; callers that draw it themselves (to pass
+        via ``uniforms=``) consume the generator exactly like
+        :meth:`sample_batch` would.
+        """
+        return self._draw_width
+
     def sample_batch(
-        self, n: int, rng: RngLike = None, method: str = "batched"
+        self,
+        n: int,
+        rng: RngLike = None,
+        method: str = "batched",
+        uniforms: Optional[np.ndarray] = None,
     ) -> BatchSamples:
         """Draw ``n`` uniform colorful k-treelet copies at once.
 
@@ -333,11 +348,17 @@ class TreeletUrn:
         differently from ``n`` scalar :meth:`sample` calls: one
         ``rng.random((n, 3 + 2(k-1)))`` block, so results are reproducible
         per ``(seed, n)``, not interchangeable with the scalar stream.
+
+        ``uniforms`` supplies that block pre-drawn (shape ``(n,
+        draw_width)``); ``rng`` is then untouched.  Every decision in the
+        descent is made row by row from that row's slots alone, so
+        concatenating the uniform blocks of several callers and splitting
+        the returned rows is bit-identical to separate calls — the
+        property the serving layer's request coalescing rests on.
         """
         if n < 1:
             raise SamplingError("need at least one sample")
-        rng = ensure_rng(rng)
-        uniforms = rng.random((n, self._draw_width))
+        uniforms = self._resolve_uniforms(n, rng, uniforms)
         if method == "loop":
             out = self._sample_batch_loop(uniforms)
         elif method == "batched":
@@ -348,19 +369,24 @@ class TreeletUrn:
         return out
 
     def sample_shape_batch(
-        self, shape: int, n: int, rng: RngLike = None, method: str = "batched"
+        self,
+        shape: int,
+        n: int,
+        rng: RngLike = None,
+        method: str = "batched",
+        uniforms: Optional[np.ndarray] = None,
     ) -> BatchSamples:
         """Draw ``n`` uniform copies of one free shape at once (AGS).
 
-        Same contract and draw discipline as :meth:`sample_batch`, with
-        slot 2 of each row picking the rooted variant instead of a table
-        key; every returned mask is the full color mask.
+        Same contract and draw discipline as :meth:`sample_batch`
+        (``uniforms=`` included), with slot 2 of each row picking the
+        rooted variant instead of a table key; every returned mask is
+        the full color mask.
         """
         if n < 1:
             raise SamplingError("need at least one sample")
-        rng = ensure_rng(rng)
         alias = self._shape_alias_for(shape)
-        uniforms = rng.random((n, self._draw_width))
+        uniforms = self._resolve_uniforms(n, rng, uniforms)
         if method == "loop":
             out = self._sample_shape_batch_loop(shape, alias, uniforms)
         elif method == "batched":
@@ -369,6 +395,20 @@ class TreeletUrn:
             raise SamplingError(f"unknown sampling method {method!r}")
         self.instrumentation.count("batched_shape_samples", n)
         return out
+
+    def _resolve_uniforms(
+        self, n: int, rng: RngLike, uniforms: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Draw (or validate) one batch's uniform matrix."""
+        if uniforms is None:
+            return ensure_rng(rng).random((n, self._draw_width))
+        uniforms = np.asarray(uniforms, dtype=np.float64)
+        if uniforms.shape != (n, self._draw_width):
+            raise SamplingError(
+                f"uniforms must have shape ({n}, {self._draw_width}), "
+                f"got {uniforms.shape}"
+            )
+        return uniforms
 
     # -- per-sample reference path --------------------------------------
 

@@ -157,9 +157,11 @@ def _execute_run(
                 ),
             )
         counter = MotivoCounter(graph, config)
-        try:
-            counter.build()
-        except SamplingError:
+        counter.build()
+        if counter.empty_urn:
+            # An empty-urn coloring is a recorded null member: it
+            # contributes zero to every graphlet and (in build mode)
+            # persists nothing.
             if spec.cleanup:
                 counter.close()
             return None, counter.instrumentation.snapshot()

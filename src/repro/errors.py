@@ -57,3 +57,14 @@ class SamplingError(ReproError):
 
 class GraphletError(ReproError):
     """Raised for invalid graphlet encodings or canonicalization failures."""
+
+
+class ServeError(ReproError):
+    """Raised by the sampling service for unservable requests.
+
+    Covers unknown/evicted artifact keys, malformed request parameters,
+    and session misuse (e.g. reopening an existing session under a
+    different seed).  The HTTP layer maps these to 4xx responses; every
+    other :class:`ReproError` coming out of a request is the library's
+    own and maps the same way.
+    """

@@ -11,13 +11,20 @@ datasets replacing the paper's public graphs (listed in
 """
 
 from repro.graph.graph import Graph
-from repro.graph.io import load_edge_list, load_binary, save_binary, save_edge_list
+from repro.graph.io import (
+    load_edge_list,
+    load_binary,
+    load_graph,
+    save_binary,
+    save_edge_list,
+)
 from repro.graph.datasets import dataset_names, load_dataset
 
 __all__ = [
     "Graph",
     "load_edge_list",
     "load_binary",
+    "load_graph",
     "save_binary",
     "save_edge_list",
     "dataset_names",

@@ -3,41 +3,64 @@
 Two formats are supported:
 
 * **Text edge lists** — one ``u v`` pair per line, ``#`` comments, the
-  format of the SNAP datasets the paper downloads.
+  format of the SNAP datasets the paper downloads.  Files written by
+  :func:`save_edge_list` carry a ``# repro graph n=... m=...`` header so
+  trailing isolated vertices survive the round trip; SNAP-style files
+  with sparse non-contiguous ids are compacted to ``0..n-1`` (the
+  original ids stay available via :func:`load_edge_list_mapped`).
 * **Binary** — an ``.npz`` file holding the CSR arrays directly.  This
   stands in for the "motivo binary format" the paper converts its inputs
   to: loading is a pair of array reads with no parsing.
+
+Round-trip contract: ``load_edge_list(save_edge_list(g)) == g`` for
+every graph, isolated vertices and all — the header declares ``n``, so
+vertices no edge mentions are not silently dropped.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Union
+import re
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graph.graph import Graph
 
-__all__ = ["load_edge_list", "save_edge_list", "load_binary", "save_binary"]
+__all__ = [
+    "load_edge_list",
+    "load_edge_list_mapped",
+    "save_edge_list",
+    "load_binary",
+    "save_binary",
+    "load_graph",
+]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 _BINARY_MAGIC = "repro-graph-v1"
 
+#: Header line written by :func:`save_edge_list` and honoured by the
+#: loaders.  Only ``n`` matters for reconstruction (``m`` is derivable
+#: from the edges and duplicate lines make a strict check ambiguous).
+_HEADER_RE = re.compile(r"repro graph n=(\d+) m=(\d+)")
 
-def load_edge_list(path: PathLike, comment: str = "#") -> Graph:
-    """Parse a whitespace-separated edge list file into a :class:`Graph`.
 
-    Lines starting with ``comment`` (or empty) are skipped.  Vertices may be
-    arbitrary non-negative integers; the graph is made undirected and simple
-    exactly as motivo preprocesses its inputs.
-    """
+def _parse_edge_lines(path: PathLike, comment: str):
+    """Shared text parser: returns ``(edges, header_n)``."""
     edges = []
+    header_n: Optional[int] = None
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
-            if not stripped or stripped.startswith(comment):
+            if not stripped:
+                continue
+            if stripped.startswith(comment):
+                if header_n is None:
+                    match = _HEADER_RE.search(stripped)
+                    if match:
+                        header_n = int(match.group(1))
                 continue
             parts = stripped.split()
             if len(parts) < 2:
@@ -51,15 +74,127 @@ def load_edge_list(path: PathLike, comment: str = "#") -> Graph:
                     f"{path}:{line_number}: non-integer endpoints {stripped!r}"
                 ) from exc
             edges.append((u, v))
-    return Graph.from_edges(edges)
+    return edges, header_n
+
+
+def load_edge_list_mapped(
+    path: PathLike,
+    comment: str = "#",
+    n: Optional[int] = None,
+    compact: Optional[bool] = None,
+) -> Tuple[Graph, Optional[np.ndarray]]:
+    """Parse an edge list; additionally return the original-id mapping.
+
+    Parameters
+    ----------
+    path, comment:
+        The file and its comment prefix.  Lines starting with ``comment``
+        (or empty) are skipped; a ``# repro graph n=... m=...`` header
+        (what :func:`save_edge_list` writes) declares the vertex count so
+        trailing isolated vertices round-trip.
+    n:
+        Explicit vertex count, overriding the header.  Must cover every
+        mentioned id.
+    compact:
+        Remap the mentioned vertex ids to ``0..n-1`` (rank order).
+        ``None`` (the default) compacts automatically when no vertex
+        count is declared *and* the ids are substantially sparse (the
+        ``max(id)+1`` allocation would more than double the distinct-id
+        count) — the SNAP situation, where ids like ``10**6`` would
+        otherwise allocate a million-vertex CSR for a handful of
+        vertices.  Mildly gappy headerless files (1-indexed lists, a
+        single missing id) load unchanged, so existing inputs keep
+        their ids and fingerprints.  ``True`` forces the remap
+        (incompatible with a declared ``n``: a declared count fixes the
+        id space); ``False`` never remaps.
+
+    Returns
+    -------
+    (graph, original_ids):
+        ``original_ids[new_id] = old_id`` when a remap happened (ids in
+        ascending original order), ``None`` when ids were taken as-is.
+    """
+    edges, header_n = _parse_edge_lines(path, comment)
+    declared = n if n is not None else header_n
+    if compact is True and declared is not None:
+        raise GraphFormatError(
+            f"{path}: compact=True remaps ids and cannot honour a "
+            f"declared vertex count (n={declared})"
+        )
+    pairs = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if pairs.size and pairs.min() < 0:
+        raise GraphFormatError(f"{path}: vertex ids must be non-negative")
+    unique_ids = np.unique(pairs)
+    # "Substantially sparse": the raw allocation would be more than
+    # twice the distinct-id count.  1-indexed or singly-gapped files
+    # stay untouched under auto mode; SNAP-style id spaces compact.
+    sparse_ids = bool(
+        unique_ids.size and int(unique_ids[-1]) + 1 > 2 * unique_ids.size
+    )
+    if compact is None:
+        compact = declared is None and sparse_ids
+    if compact and declared is None:
+        remapped = np.searchsorted(unique_ids, pairs)
+        graph = Graph.from_edges(remapped, n=int(unique_ids.size))
+        return graph, unique_ids
+    if declared is not None and unique_ids.size \
+            and declared <= int(unique_ids[-1]):
+        raise GraphFormatError(
+            f"{path}: declares n={declared} but an edge mentions vertex "
+            f"{int(unique_ids[-1])}"
+        )
+    return Graph.from_edges(pairs, n=declared), None
+
+
+def load_edge_list(
+    path: PathLike,
+    comment: str = "#",
+    n: Optional[int] = None,
+    compact: Optional[bool] = None,
+) -> Graph:
+    """Parse a whitespace-separated edge list file into a :class:`Graph`.
+
+    The graph is made undirected and simple exactly as motivo
+    preprocesses its inputs.  See :func:`load_edge_list_mapped` for the
+    header, ``n`` override, and id-compaction semantics (this wrapper
+    discards the original-id mapping).
+    """
+    graph, _mapping = load_edge_list_mapped(
+        path, comment=comment, n=n, compact=compact
+    )
+    return graph
 
 
 def save_edge_list(graph: Graph, path: PathLike) -> None:
-    """Write the graph as a ``u v`` text edge list (``u < v``)."""
+    """Write the graph as a ``u v`` text edge list (``u < v``).
+
+    The ``# repro graph n=... m=...`` header makes the format
+    self-describing: :func:`load_edge_list` reads ``n`` back, so graphs
+    with trailing isolated vertices round-trip unchanged.
+    """
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# repro graph n={graph.num_vertices} m={graph.num_edges}\n")
         for u, v in graph.edges():
             handle.write(f"{u} {v}\n")
+
+
+def load_graph(spec: str) -> Graph:
+    """Resolve a graph spec: dataset name, ``.npz`` binary, or edge list.
+
+    The one resolution rule shared by the CLI (``count``/``build``/...)
+    and the serving layer (artifact manifest source hints), so the same
+    spec always loads the same graph: registered dataset names come
+    from the registry, ``.npz`` paths load as binaries, anything else
+    as a text edge list (with the sparse-id auto-compaction above).
+    """
+    from repro.graph.datasets import dataset_names, load_dataset
+
+    spec = str(spec)
+    if spec in dataset_names():
+        return load_dataset(spec)
+    if spec.endswith(".npz"):
+        return load_binary(spec)
+    return load_edge_list(spec)
 
 
 def save_binary(graph: Graph, path: PathLike) -> None:

@@ -156,13 +156,26 @@ class MotivoCounter:
         self.urn: Optional[TreeletUrn] = None
         self.classifier: Optional[GraphletClassifier] = None
         self.store: Optional[LayerStore] = None
+        #: True once build() finished with an urn that holds no colorful
+        #: k-treelets (unlucky coloring, or no connected k-subgraph at
+        #: all).  Sampling then returns zero estimates flagged
+        #: ``empty_urn`` instead of raising — the single-run counterpart
+        #: of the ensemble engine's null members.
+        self.empty_urn: bool = False
+        self._built: bool = False
 
     # ------------------------------------------------------------------
     # Build-up phase
     # ------------------------------------------------------------------
 
-    def build(self) -> TreeletUrn:
+    def build(self) -> Optional[TreeletUrn]:
         """Color the graph and run the build-up phase; returns the urn.
+
+        A build whose table holds no colorful k-treelets (unlucky
+        coloring, or no connected k-subgraph) returns ``None`` and sets
+        :attr:`empty_urn` — sampling then yields zero estimates flagged
+        ``empty_urn`` rather than raising, matching the ensemble
+        engine's null-member semantics.
 
         With :attr:`MotivoConfig.artifact_dir` set (and a fixed seed),
         the build goes through the artifact cache: a matching persisted
@@ -177,7 +190,7 @@ class MotivoCounter:
             return self._build_cached()
         return self._build_fresh()
 
-    def _build_fresh(self) -> TreeletUrn:
+    def _build_fresh(self) -> Optional[TreeletUrn]:
         config = self.config
         n = self.graph.num_vertices
         if config.biased_lambda is None:
@@ -203,7 +216,7 @@ class MotivoCounter:
         self._finish_build(table)
         return self.urn
 
-    def _build_cached(self) -> TreeletUrn:
+    def _build_cached(self) -> Optional[TreeletUrn]:
         """Build through the content-addressed artifact cache."""
         from repro.artifacts import ArtifactCache, open_table
 
@@ -226,6 +239,10 @@ class MotivoCounter:
                 return self.urn
         self.instrumentation.count("artifact_cache_misses")
         self._build_fresh()
+        if self.urn is None:
+            # Empty-urn builds are not persistable (and not worth
+            # caching); the counter still answers with zero estimates.
+            return None
         tmp = cache.tmp_path(key)
         self.save_artifact(tmp, codec=config.artifact_codec)
         try:
@@ -237,23 +254,42 @@ class MotivoCounter:
         return self.urn
 
     def _finish_build(self, table) -> None:
-        """Wrap a finished table in the sampling-phase machinery."""
-        config = self.config
-        self.urn = TreeletUrn(
-            self.graph,
-            table,
-            self.coloring,
-            registry=self.registry,
-            buffer_threshold=config.buffer_threshold,
-            buffer_size=config.buffer_size,
-            instrumentation=self.instrumentation,
-        )
-        self.classifier = GraphletClassifier(self.graph, config.k)
+        """Wrap a finished table in the sampling-phase machinery.
 
-    def _require_built(self) -> TreeletUrn:
-        if self.urn is None or self.classifier is None:
+        An urn with no colorful k-treelets is *not* an error at this
+        level: the counter records ``empty_urn`` and later sampling
+        calls return zero estimates (a served request degrades to
+        "0 occurrences" instead of a 500) — the same semantics the
+        ensemble engine has always given empty-urn members.
+        """
+        config = self.config
+        try:
+            self.urn = TreeletUrn(
+                self.graph,
+                table,
+                self.coloring,
+                registry=self.registry,
+                buffer_threshold=config.buffer_threshold,
+                buffer_size=config.buffer_size,
+                instrumentation=self.instrumentation,
+            )
+        except SamplingError:
+            self.urn = None
+            self.empty_urn = True
+            self.instrumentation.count("empty_urn_builds")
+        self.classifier = GraphletClassifier(self.graph, config.k)
+        self._built = True
+
+    def _require_built(self) -> Optional[TreeletUrn]:
+        if not self._built or self.classifier is None:
             raise SamplingError("call build() before sampling")
         return self.urn
+
+    def _empty_estimates(
+        self, num_samples: int, method: str
+    ) -> GraphletEstimates:
+        """The degenerate zero-estimate answer of an empty-urn build."""
+        return GraphletEstimates.empty(self.config.k, num_samples, method)
 
     # ------------------------------------------------------------------
     # Persistence: build once, sample many
@@ -272,9 +308,16 @@ class MotivoCounter:
         the *post-build state of the master RNG stream*, so a counter
         restored with :meth:`from_artifact` samples bit-identically to
         this one.  Returns the
-        :class:`~repro.artifacts.table_artifact.TableArtifact`.
+        :class:`~repro.artifacts.table_artifact.TableArtifact`.  An
+        empty-urn build has nothing worth persisting and raises
+        :class:`~repro.errors.SamplingError` (the ensemble engine
+        records such members as null instead).
         """
         urn = self._require_built()
+        if urn is None:
+            raise SamplingError(
+                "cannot persist an empty-urn build as a table artifact"
+            )
         from repro.artifacts import save_table
 
         return save_table(
@@ -414,8 +457,14 @@ class MotivoCounter:
     # ------------------------------------------------------------------
 
     def sample_naive(self, num_samples: int) -> GraphletEstimates:
-        """CC-style naive sampling estimates (§2.2), drawn in batches."""
+        """CC-style naive sampling estimates (§2.2), drawn in batches.
+
+        On an empty-urn build this returns zero estimates flagged
+        ``empty_urn`` instead of raising (see :meth:`build`).
+        """
         urn = self._require_built()
+        if urn is None:
+            return self._empty_estimates(num_samples, "naive")
         return naive_estimate(
             urn, self.classifier, num_samples, self._rng,
             batch_size=self.config.batch_size,
@@ -424,8 +473,14 @@ class MotivoCounter:
     def sample_ags(
         self, budget: int, cover_threshold: int = 300
     ) -> AGSResult:
-        """Adaptive graphlet sampling estimates (§4), chunked draws."""
+        """Adaptive graphlet sampling estimates (§4), chunked draws.
+
+        On an empty-urn build this returns zero estimates flagged
+        ``empty_urn`` instead of raising (see :meth:`build`).
+        """
         urn = self._require_built()
+        if urn is None:
+            return AGSResult(estimates=self._empty_estimates(budget, "ags"))
         return ags_estimate(
             urn,
             self.classifier,

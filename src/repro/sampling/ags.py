@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import ceil, log
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.colorcoding.urn import TreeletUrn
 from repro.errors import SamplingError
@@ -91,6 +91,7 @@ def ags_estimate(
     rng: RngLike = None,
     sigma_cache: Optional[SigmaCache] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    draw_shape: Optional[Callable[[int, int, object], tuple]] = None,
 ) -> AGSResult:
     """Run AGS for ``budget`` samples and return weighted estimates.
 
@@ -112,6 +113,12 @@ def ags_estimate(
         Upper bound on the adaptive chunk size (see the module docstring);
         ``<= 1`` keeps the original per-sample loop.  Runs are
         deterministic per ``(seed, batch_size)``.
+    draw_shape:
+        Optional chunk-draw hook replacing ``urn.sample_shape_batch(
+        shape, size, rng)`` — the serving layer routes chunks through
+        its request coalescer here.  A hook that consumes the generator
+        exactly like ``sample_shape_batch`` keeps the run bit-identical.
+        Batched path only (ignored when ``batch_size <= 1``).
     """
     if budget < 1:
         raise SamplingError("need a positive sampling budget")
@@ -175,8 +182,10 @@ def ags_estimate(
         else:
             size = min(chunk, batch_size, budget - drawn)
             usage[current] += size
-            matrix, _treelets, _masks = urn.sample_shape_batch(
-                current, size, rng
+            matrix, _treelets, _masks = (
+                urn.sample_shape_batch(current, size, rng)
+                if draw_shape is None
+                else draw_shape(current, size, rng)
             )
             codes = classifier.classify_batch(matrix).tolist()
             drawn += size

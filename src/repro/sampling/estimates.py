@@ -42,6 +42,13 @@ class GraphletEstimates:
         Canonical encoding → how many samples landed on that graphlet.
     method:
         ``"naive"`` or ``"ags"`` (or ``"exact"`` for ground truth).
+    empty_urn:
+        ``True`` when the run's urn held no colorful k-treelets (an
+        unlucky coloring, or a graph with no connected k-subgraph) and
+        the estimates are therefore the degenerate "0 occurrences"
+        answer rather than a sampled one.  Mirrors the ensemble engine's
+        null-member semantics for single runs, so a served request
+        degrades to zeros instead of an error.
     """
 
     k: int
@@ -49,6 +56,24 @@ class GraphletEstimates:
     samples: int = 0
     hits: Dict[int, int] = field(default_factory=dict)
     method: str = "naive"
+    empty_urn: bool = False
+
+    @classmethod
+    def empty(cls, k: int, samples: int, method: str) -> "GraphletEstimates":
+        """The degenerate zero-estimate answer of an empty-urn run.
+
+        Shared by every path that degrades an empty urn to
+        "0 occurrences" (facade single runs, the serving layer), so the
+        degenerate document has exactly one definition.
+        """
+        from repro.errors import SamplingError
+
+        if samples < 1:
+            raise SamplingError("need at least one sample")
+        return cls(
+            k=k, counts={}, samples=samples, hits={},
+            method=method, empty_urn=True,
+        )
 
     @property
     def total(self) -> float:
@@ -93,6 +118,7 @@ class GraphletEstimates:
                 "samples": self.samples,
                 "counts": {f"{bits:#x}": v for bits, v in self.counts.items()},
                 "hits": {f"{bits:#x}": h for bits, h in self.hits.items()},
+                "empty_urn": self.empty_urn,
             },
             indent=2,
             sort_keys=True,
@@ -116,6 +142,7 @@ class GraphletEstimates:
                 for bits, h in payload.get("hits", {}).items()
             },
             method=str(payload.get("method", "naive")),
+            empty_urn=bool(payload.get("empty_urn", False)),
         )
 
 

@@ -25,7 +25,7 @@ per ``(seed, batch_size)``).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -51,12 +51,21 @@ def naive_hit_counts(
     num_samples: int,
     rng: RngLike = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    draw: Optional[Callable[[int, "np.random.Generator"], tuple]] = None,
 ) -> Counter:
     """Raw sampling loop: canonical graphlet encoding → number of hits.
 
     Draws run in chunks of ``batch_size`` through the vectorized engine;
     ``batch_size <= 1`` keeps the original one-at-a-time path (scalar
     alias draws, neighbor buffering).
+
+    ``draw`` replaces the chunk draw ``urn.sample_batch(chunk, rng)``
+    with a caller-supplied ``draw(chunk, rng)`` returning the same
+    ``BatchSamples`` triple.  The serving layer uses this to route
+    chunks through its request coalescer; a hook that consumes the
+    generator exactly like ``sample_batch`` (one ``rng.random((chunk,
+    urn.draw_width))`` block) keeps the estimate bit-identical.
+    Batched path only — it is ignored when ``batch_size <= 1``.
     """
     if num_samples < 1:
         raise SamplingError("need at least one sample")
@@ -67,10 +76,12 @@ def naive_hit_counts(
             vertices, _treelet, _mask = urn.sample(rng)
             hits[classifier.classify(vertices)] += 1
         return hits
+    if draw is None:
+        draw = urn.sample_batch
     remaining = num_samples
     while remaining:
         chunk = min(batch_size, remaining)
-        vertices, _treelets, _masks = urn.sample_batch(chunk, rng)
+        vertices, _treelets, _masks = draw(chunk, rng)
         codes = classifier.classify_batch(vertices)
         values, counts = np.unique(codes, return_counts=True)
         for bits, count in zip(values.tolist(), counts.tolist()):
@@ -86,6 +97,7 @@ def naive_estimate(
     rng: RngLike = None,
     sigma: Optional[Dict[int, int]] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    draw: Optional[Callable[[int, "np.random.Generator"], tuple]] = None,
 ) -> GraphletEstimates:
     """Full naive estimator: sample, classify, convert hits to counts.
 
@@ -100,10 +112,12 @@ def naive_estimate(
         σ_i); missing entries are computed via Kirchhoff on demand.
     batch_size:
         Samples per vectorized chunk; ``<= 1`` uses the per-sample path.
+    draw:
+        Optional chunk-draw hook, forwarded to :func:`naive_hit_counts`.
     """
     rng = ensure_rng(rng)
     hits = naive_hit_counts(
-        urn, classifier, num_samples, rng, batch_size=batch_size
+        urn, classifier, num_samples, rng, batch_size=batch_size, draw=draw
     )
     k = classifier.k
     total_treelets = urn.total_treelets

@@ -1,0 +1,35 @@
+"""Concurrent sampling service over warm table artifacts.
+
+The serving half of motivo's build-once/sample-many split: a long-lived
+process that opens each requested artifact once — memory-mapped, shared
+read-only across request threads — keeps per-session RNG streams, and
+coalesces concurrent draws into single batched urn calls.
+
+:mod:`repro.serve.service`
+    :class:`SamplingService` (handles, sessions, the request coalescer)
+    and :class:`TableHandle` (refcounted warm tables with
+    evict-while-served semantics).
+:mod:`repro.serve.http`
+    The stdlib JSON API (``/count``, ``/artifacts``, ``/healthz``)
+    behind ``motivo-py serve``.
+
+Architecture, API schema, and the per-session determinism contract are
+documented in ``docs/serving.md``.
+"""
+
+from repro.serve.http import SamplingHTTPServer, serve_http
+from repro.serve.service import (
+    CountResult,
+    SamplingService,
+    TableHandle,
+    session_seed,
+)
+
+__all__ = [
+    "CountResult",
+    "SamplingHTTPServer",
+    "SamplingService",
+    "TableHandle",
+    "serve_http",
+    "session_seed",
+]

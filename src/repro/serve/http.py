@@ -1,0 +1,165 @@
+"""Stdlib HTTP front-end for the sampling service.
+
+One thread per connection (``ThreadingHTTPServer``) on top of
+:class:`~repro.serve.service.SamplingService` — the service's handle
+refcounts, session locks, and draw coalescing do all the concurrency
+work, so the HTTP layer is a thin JSON codec:
+
+``GET /healthz``
+    Liveness plus serving totals (open tables, sessions, request and
+    coalescing counters, cache bytes on disk).
+``GET /artifacts``
+    Every servable artifact in the cache, with warm-handle state.
+``POST /count``
+    Body: ``{"artifact": <key>?, "estimator": "naive"|"ags",
+    "samples": N, "session": <id>, "seed": S?, "cover_threshold": C?}``.
+    Response: the estimates document (same hex-keyed ``counts``/
+    ``hits`` encoding as ``motivo-py sample --output``) plus request
+    metadata (``key``, ``session``, ``sequence``, ``elapsed_ms``,
+    ``empty_urn``).
+
+Error mapping: unknown/evicted artifacts → 404, malformed requests and
+library :class:`~repro.errors.ReproError` s → 400, everything else →
+500; every error body is ``{"error": <message>}``.
+
+The full API schema and the per-session determinism contract live in
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import ReproError, ServeError
+from repro.serve.service import SamplingService
+
+__all__ = ["SamplingHTTPServer", "serve_http"]
+
+
+class SamplingHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one :class:`SamplingService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SamplingService,
+                 quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "motivo-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ServeError(f"request body is not JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, service.healthz())
+            elif self.path == "/artifacts":
+                self._send_json(200, {"artifacts": service.artifacts()})
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+        except Exception as error:  # noqa: BLE001 - must answer
+            self._send_json(*_error_response(error))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if self.path != "/count":
+            # Drain the body first: on a keep-alive (HTTP/1.1)
+            # connection, unread body bytes would be parsed as the
+            # start of the next request.
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > 0:
+                self.rfile.read(length)
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        try:
+            request = self._read_json()
+            result = service.count(
+                artifact=_opt_str(request, "artifact"),
+                estimator=str(request.get("estimator", "naive")),
+                samples=_as_int(request, "samples", 1000),
+                session=str(request.get("session", "default")),
+                seed=_opt_int(request, "seed"),
+                cover_threshold=_as_int(request, "cover_threshold", 300),
+            )
+            self._send_json(200, result.to_payload())
+        except Exception as error:  # noqa: BLE001 - must answer
+            self._send_json(*_error_response(error))
+
+
+def _opt_str(request: dict, name: str) -> Optional[str]:
+    value = request.get(name)
+    return None if value is None else str(value)
+
+
+def _opt_int(request: dict, name: str) -> Optional[int]:
+    value = request.get(name)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ServeError(f"{name!r} must be an integer") from None
+
+
+def _as_int(request: dict, name: str, default: int) -> int:
+    value = _opt_int(request, name)
+    return default if value is None else value
+
+
+def _error_response(error: Exception) -> Tuple[int, dict]:
+    """(status, body) of one failed request."""
+    message = str(error) or error.__class__.__name__
+    if isinstance(error, ServeError):
+        status = 404 if "no servable artifact" in message else 400
+    elif isinstance(error, ReproError):
+        status = 400
+    else:
+        status = 500
+    return status, {"error": message}
+
+
+def serve_http(
+    service: SamplingService, host: str = "127.0.0.1", port: int = 8765,
+    quiet: bool = True,
+) -> SamplingHTTPServer:
+    """Bind the JSON API; the caller runs ``serve_forever()``.
+
+    Returns the bound server (``server_address`` carries the actual
+    port when ``port=0`` asked for an ephemeral one).
+    """
+    return SamplingHTTPServer((host, port), service, quiet=quiet)

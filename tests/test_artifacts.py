@@ -441,9 +441,14 @@ class TestArtifactCache:
         entries = cache.entries()
         assert len(entries) == 2
         assert all(entry.k == 4 for entry in entries)
-        assert cache.bytes_on_disk() == sum(
-            entry.payload_bytes for entry in entries
+        # bytes_on_disk reports actual usage: payload blobs plus the
+        # manifests the old payload-sum accounting ignored.
+        payload_total = sum(entry.payload_bytes for entry in entries)
+        manifest_total = sum(
+            os.path.getsize(os.path.join(entry.path, "manifest.json"))
+            for entry in entries
         )
+        assert cache.bytes_on_disk() == payload_total + manifest_total
         for entry in entries:
             cache.verify(entry.key)
         assert cache.evict(entries[0].key)
@@ -465,7 +470,8 @@ class TestArtifactCache:
     ):
         """A crash between save and admit leaves '<key>.tmp-<pid>' behind;
         it must not surface as a (phantom) cache entry, and evict/clear
-        must reclaim it."""
+        must reclaim it.  While the writer pid is alive the directory is
+        in-flight, not stale — listing must leave it alone."""
         import shutil
 
         root = str(tmp_path)
@@ -475,11 +481,53 @@ class TestArtifactCache:
         counter.build()
         cache = ArtifactCache(root)
         entry = cache.entries()[0]
-        shutil.copytree(entry.path, entry.path + ".tmp-123")
+        # Same-pid tmp dir: an in-flight write of this very process.
+        tmp_sibling = f"{entry.path}.tmp-{os.getpid()}"
+        shutil.copytree(entry.path, tmp_sibling)
         assert [e.key for e in cache.entries()] == [entry.key]
-        assert cache.bytes_on_disk() == entry.payload_bytes
+        assert os.path.isdir(tmp_sibling)  # never reaped while we live
+        # bytes_on_disk counts what is really on disk — manifests and
+        # the in-flight tmp directory included.
+        expected = 0
+        for directory, _subdirs, files in os.walk(root):
+            expected += sum(
+                os.path.getsize(os.path.join(directory, name))
+                for name in files
+            )
+        assert cache.bytes_on_disk() == expected
+        assert cache.bytes_on_disk() > entry.payload_bytes
         assert cache.evict(entry.key)
         assert os.listdir(root) == []  # tmp sibling reaped too
+
+    def test_cross_pid_stale_tmp_reaped_on_listing(self, host, tmp_path):
+        """A tmp dir whose owning pid is dead is a crash leftover; any
+        later listing — from any process — reclaims it."""
+        import shutil
+
+        root = str(tmp_path)
+        counter = MotivoCounter(
+            host, MotivoConfig(k=4, seed=1, artifact_dir=root)
+        )
+        counter.build()
+        cache = ArtifactCache(root)
+        entry = cache.entries()[0]
+        # Find a pid that is certainly not running.
+        dead = 2 ** 22 - 7
+        while True:
+            try:
+                os.kill(dead, 0)
+            except ProcessLookupError:
+                break
+            except OSError:
+                pass
+            dead -= 1
+        shutil.copytree(entry.path, f"{entry.path}.tmp-{dead}")
+        assert [e.key for e in cache.entries()] == [entry.key]
+        assert not os.path.isdir(f"{entry.path}.tmp-{dead}")
+        # Unparseable suffixes are left alone (conservative).
+        os.makedirs(os.path.join(root, "odd.tmp-notapid"))
+        cache.entries()
+        assert os.path.isdir(os.path.join(root, "odd.tmp-notapid"))
 
     def test_clear_sweeps_orphan_tmp_dirs(self, host, tmp_path):
         root = str(tmp_path)

@@ -139,12 +139,29 @@ class TestErrors:
             main(["info", "/nonexistent/graph.txt"])
 
     def test_library_errors_become_exit_one(self, tmp_path, capsys):
-        # A 2-vertex graph cannot host 4-graphlets: the urn is empty.
         path = tmp_path / "tiny.txt"
         path.write_text("0 1\n")
-        status = main(["count", str(path), "--k", "4", "--samples", "10"])
+        status = main(["count", str(path), "--k", "1", "--samples", "10"])
         assert status == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_empty_urn_count_degrades_to_zero(self, tmp_path, capsys):
+        # A 2-vertex graph cannot host 4-graphlets: the urn is empty,
+        # which is a zero-occurrences answer, not an error.
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n")
+        out = tmp_path / "estimates.json"
+        status = main([
+            "count", str(path), "--k", "4", "--samples", "10",
+            "--seed", "3", "--output", str(out),
+        ])
+        assert status == 0
+        assert "empty urn" in capsys.readouterr().out
+        from repro.sampling.estimates import GraphletEstimates
+
+        restored = GraphletEstimates.from_json(out.read_text())
+        assert restored.empty_urn
+        assert restored.counts == {}
 
 
 class TestJsonOutput:

@@ -6,8 +6,15 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError
-from repro.graph.generators import barabasi_albert, cycle_graph
-from repro.graph.io import load_binary, load_edge_list, save_binary, save_edge_list
+from repro.graph.generators import barabasi_albert, cycle_graph, erdos_renyi
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    load_binary,
+    load_edge_list,
+    load_edge_list_mapped,
+    save_binary,
+    save_edge_list,
+)
 
 
 class TestEdgeList:
@@ -45,6 +52,138 @@ class TestEdgeList:
         path = tmp_path / "dup.txt"
         path.write_text("0 1\n1 0\n0 1\n")
         assert load_edge_list(path).num_edges == 1
+
+    def test_round_trip_preserves_isolated_vertices(self, tmp_path):
+        # The header bug: a 6-vertex graph with trailing isolated
+        # vertices used to come back with 2 vertices.
+        g = Graph.from_edges([(0, 1), (1, 2)], n=6)
+        path = tmp_path / "isolated.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == 6
+        assert loaded == g
+
+    def test_explicit_n_overrides_header(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], n=3)
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path, n=9).num_vertices == 9
+
+    def test_declared_n_must_cover_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# repro graph n=2 m=1\n0 5\n")
+        with pytest.raises(GraphFormatError, match="mentions vertex"):
+            load_edge_list(path)
+
+    def test_self_loops_in_input_dropped(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("# repro graph n=3 m=2\n0 0\n0 1\n1 2\n2 2\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_negative_ids_rejected(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("-1 2\n")
+        with pytest.raises(GraphFormatError, match="non-negative"):
+            load_edge_list(path)
+
+
+class TestSparseIdCompaction:
+    def test_snap_style_ids_compacted(self, tmp_path):
+        # The allocation bug: ids like 10**6 used to allocate a
+        # million-vertex CSR for a 3-vertex graph.
+        path = tmp_path / "snap.txt"
+        path.write_text("1000000 5\n5 42\n")
+        g, original = load_edge_list_mapped(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert original.tolist() == [5, 42, 1000000]
+        # Remap is rank-order: edge (5, 42) became (0, 1), etc.
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_compact_false_keeps_raw_ids(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("1000000 5\n")
+        g, original = load_edge_list_mapped(path, compact=False)
+        assert g.num_vertices == 1000001
+        assert original is None
+
+    def test_contiguous_ids_left_alone_by_auto(self, tmp_path):
+        path = tmp_path / "dense.txt"
+        path.write_text("0 1\n1 2\n")
+        g, original = load_edge_list_mapped(path)
+        assert g.num_vertices == 3
+        assert original is None
+
+    def test_one_indexed_files_left_alone_by_auto(self, tmp_path):
+        # Mildly gappy headerless inputs (the common 1-indexed list)
+        # keep their ids — auto-compaction needs substantial sparsity.
+        path = tmp_path / "oneidx.txt"
+        path.write_text("1 2\n2 3\n")
+        g, original = load_edge_list_mapped(path)
+        assert g.num_vertices == 4
+        assert original is None
+
+    def test_header_disables_auto_compaction(self, tmp_path):
+        # A declared n fixes the id space: gaps are isolated vertices.
+        g = Graph.from_edges([(0, 3)], n=5)
+        path = tmp_path / "gap.txt"
+        save_edge_list(g, path)
+        loaded, original = load_edge_list_mapped(path)
+        assert original is None
+        assert loaded == g
+
+    def test_forced_compact_conflicts_with_declared_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# repro graph n=4 m=1\n0 3\n")
+        with pytest.raises(GraphFormatError, match="compact"):
+            load_edge_list(path, compact=True)
+
+    def test_forced_compact_on_headerless_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("7 9\n")
+        g, original = load_edge_list_mapped(path, compact=True)
+        assert g.num_vertices == 2
+        assert original.tolist() == [7, 9]
+
+
+class TestRoundTripProperties:
+    """load ∘ save = id over randomized graphs, both formats."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_text_round_trip_random_graphs(self, tmp_path, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        m = int(rng.integers(0, 3 * n))
+        edges = [
+            (int(rng.integers(n)), int(rng.integers(n))) for _ in range(m)
+        ]
+        # Random extra head-room: trailing isolated vertices must survive.
+        g = Graph.from_edges(edges, n=n + int(rng.integers(0, 5)))
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path) == g
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_text_binary_parity(self, tmp_path, seed):
+        g = erdos_renyi(30, 45, rng=seed)
+        text, binary = tmp_path / "g.txt", tmp_path / "g.npz"
+        save_edge_list(g, text)
+        save_binary(g, binary)
+        from_text = load_edge_list(text)
+        from_binary = load_binary(binary)
+        assert from_text == from_binary == g
+        assert np.array_equal(from_text.indptr, from_binary.indptr)
+        assert np.array_equal(from_text.indices, from_binary.indices)
+
+    def test_empty_graph_round_trips_in_text(self, tmp_path):
+        g = Graph.empty(4)
+        path = tmp_path / "empty.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 0
 
 
 class TestBinary:

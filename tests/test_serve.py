@@ -1,0 +1,498 @@
+"""Tests for the concurrent sampling service (repro.serve).
+
+The load-bearing property is the determinism contract: every served
+response must be bit-identical to a single-threaded
+``MotivoCounter.from_artifact(..., reseed=seed)`` loop issuing the same
+request sequence — whatever the concurrency, and whether or not draws
+got coalesced into shared batches.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactCache, save_table
+from repro.colorcoding.buildup import build_table
+from repro.colorcoding.coloring import ColoringScheme
+from repro.errors import SamplingError, ServeError
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.motivo import MotivoConfig, MotivoCounter
+from repro.serve import SamplingService, serve_http, session_seed
+
+
+@pytest.fixture(scope="module")
+def host():
+    return erdos_renyi(90, 270, rng=5)
+
+
+@pytest.fixture(scope="module")
+def cache_root(host, tmp_path_factory):
+    """An artifact cache holding one k=4 build of the host graph."""
+    root = str(tmp_path_factory.mktemp("serve-cache"))
+    counter = MotivoCounter(
+        host, MotivoConfig(k=4, seed=11, artifact_dir=root)
+    )
+    counter.build()
+    return root
+
+
+@pytest.fixture()
+def service(host, cache_root):
+    with SamplingService(cache_root) as svc:
+        svc.add_graph(host)
+        yield svc
+
+
+def _key(cache_root) -> str:
+    return ArtifactCache(cache_root).entries()[0].key
+
+
+def _reference(host, cache_root, seed, plan):
+    """Single-threaded reference: one warm counter, requests in order.
+
+    ``plan`` is a list of ("naive", samples) / ("ags", budget, cover)
+    tuples; returns the estimates list.
+    """
+    counter = MotivoCounter.from_artifact(
+        host, ArtifactCache(cache_root).path(_key(cache_root)), reseed=seed
+    )
+    out = []
+    for step in plan:
+        if step[0] == "naive":
+            out.append(counter.sample_naive(step[1]))
+        else:
+            out.append(counter.sample_ags(step[1], step[2]).estimates)
+    return out
+
+
+class TestUniformsSplitEquivalence:
+    """Coalescing correctness rests on row-independence of the batched
+    descent: one call over concatenated uniform blocks must equal the
+    separate calls bit for bit."""
+
+    def test_sample_batch_concat_equals_split(self, host):
+        counter = MotivoCounter(host, MotivoConfig(k=4, seed=3))
+        urn = counter.build()
+        rng = np.random.default_rng(42)
+        uniforms = rng.random((257, urn.draw_width))
+        merged = urn.sample_batch(257, uniforms=uniforms)
+        for lo, hi in ((0, 100), (100, 101), (101, 257)):
+            part = urn.sample_batch(hi - lo, uniforms=uniforms[lo:hi])
+            for merged_arr, part_arr in zip(merged, part):
+                assert np.array_equal(merged_arr[lo:hi], part_arr)
+
+    def test_sample_shape_batch_concat_equals_split(self, host):
+        counter = MotivoCounter(host, MotivoConfig(k=4, seed=3))
+        urn = counter.build()
+        shape = max(
+            (s for s in urn.registry.free_shapes if urn.shape_total(s) > 0),
+            key=urn.shape_total,
+        )
+        rng = np.random.default_rng(43)
+        uniforms = rng.random((64, urn.draw_width))
+        merged = urn.sample_shape_batch(shape, 64, uniforms=uniforms)
+        part_a = urn.sample_shape_batch(shape, 40, uniforms=uniforms[:40])
+        part_b = urn.sample_shape_batch(shape, 24, uniforms=uniforms[40:])
+        for merged_arr, a, b in zip(merged, part_a, part_b):
+            assert np.array_equal(merged_arr[:40], a)
+            assert np.array_equal(merged_arr[40:], b)
+
+    def test_uniforms_consume_generator_like_direct_draw(self, host):
+        counter = MotivoCounter(host, MotivoConfig(k=4, seed=3))
+        urn = counter.build()
+        direct = urn.sample_batch(50, np.random.default_rng(7))
+        rng = np.random.default_rng(7)
+        pre = urn.sample_batch(
+            50, uniforms=rng.random((50, urn.draw_width))
+        )
+        for direct_arr, pre_arr in zip(direct, pre):
+            assert np.array_equal(direct_arr, pre_arr)
+
+    def test_bad_uniforms_shape_rejected(self, host):
+        counter = MotivoCounter(host, MotivoConfig(k=4, seed=3))
+        urn = counter.build()
+        with pytest.raises(SamplingError, match="shape"):
+            urn.sample_batch(10, uniforms=np.zeros((10, 3)))
+
+
+class TestServiceDeterminism:
+    def test_single_session_matches_reference(self, host, cache_root, service):
+        result = service.count(samples=500, session="a", seed=101)
+        (ref,) = _reference(host, cache_root, 101, [("naive", 500)])
+        assert result.estimates.counts == ref.counts
+        assert result.estimates.hits == ref.hits
+        assert result.sequence == 0
+
+    def test_session_stream_continues_across_requests(
+        self, host, cache_root, service
+    ):
+        service.count(samples=400, session="a", seed=101)
+        second = service.count(samples=400, session="a")
+        refs = _reference(
+            host, cache_root, 101, [("naive", 400), ("naive", 400)]
+        )
+        assert second.estimates.counts == refs[1].counts
+        assert second.sequence == 1
+
+    def test_ags_matches_reference(self, host, cache_root, service):
+        result = service.count(
+            estimator="ags", samples=600, session="g", seed=77,
+            cover_threshold=200,
+        )
+        (ref,) = _reference(host, cache_root, 77, [("ags", 600, 200)])
+        assert result.estimates.counts == ref.counts
+        assert "covered" in result.extras
+
+    def test_default_seed_is_stable_per_session_id(
+        self, host, cache_root, service
+    ):
+        result = service.count(samples=300, session="stable-client")
+        (ref,) = _reference(
+            host, cache_root, session_seed("stable-client"),
+            [("naive", 300)],
+        )
+        assert result.estimates.counts == ref.counts
+
+    def test_concurrent_sessions_bit_identical(
+        self, host, cache_root, service
+    ):
+        sessions = 8
+        barrier = threading.Barrier(sessions)
+        results: dict = {}
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            estimator = "ags" if index % 2 else "naive"
+            results[index] = service.count(
+                estimator=estimator, samples=700,
+                session=f"s{index}", seed=500 + index,
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(sessions):
+            plan = (
+                [("ags", 700, 300)] if index % 2 else [("naive", 700)]
+            )
+            (ref,) = _reference(host, cache_root, 500 + index, plan)
+            assert results[index].estimates.counts == ref.counts, index
+            assert results[index].estimates.hits == ref.hits, index
+
+    def test_seed_conflict_rejected(self, service):
+        service.count(samples=100, session="fixed", seed=5)
+        with pytest.raises(ServeError, match="already open"):
+            service.count(samples=100, session="fixed", seed=6)
+        # Same seed again is fine (idempotent declaration).
+        service.count(samples=100, session="fixed", seed=5)
+
+
+class TestServiceLifecycle:
+    def test_sole_artifact_resolves_without_key(self, service):
+        result = service.count(samples=100, session="x", seed=1)
+        assert result.key == _key(service.cache.root)
+
+    def test_unknown_key_is_serve_error(self, service):
+        with pytest.raises(ServeError, match="no servable artifact"):
+            service.count(artifact="deadbeef", samples=10, session="x")
+
+    def test_validation(self, service):
+        with pytest.raises(ServeError, match="estimator"):
+            service.count(estimator="exact", samples=10)
+        with pytest.raises(ServeError, match="samples"):
+            service.count(samples=0)
+
+    def test_handle_reused_across_requests(self, service):
+        service.count(samples=50, session="r", seed=1)
+        service.count(samples=50, session="r")
+        assert service.healthz()["open_tables"] == 1
+        assert (
+            service.instrumentation.counters["serve_tables_opened"] == 1
+        )
+
+    def test_evict_while_served(self, host, cache_root):
+        """An in-flight request survives eviction; later requests miss."""
+        with SamplingService(cache_root) as service:
+            service.add_graph(host)
+            key = _key(cache_root)
+            handle = service.open(key)
+            assert handle.acquire()  # simulate an in-flight request
+            assert service.evict(key, from_disk=False)
+            assert handle.closing
+            # The in-flight holder still samples fine.
+            estimates, _extras = handle.run(
+                "naive", 200, np.random.default_rng(0), 300
+            )
+            assert estimates.counts
+            handle.release()
+            assert handle.urn is None  # closed once drained
+            # The service reopens from disk for new requests.
+            result = service.count(samples=50, session="y", seed=2)
+            assert result.estimates.counts
+
+    def test_evict_from_disk_then_request_fails(self, host, cache_root,
+                                                tmp_path):
+        import shutil
+
+        root = str(tmp_path / "cache")
+        shutil.copytree(cache_root, root)
+        with SamplingService(root) as service:
+            service.add_graph(host)
+            key = _key(root)
+            service.count(artifact=key, samples=50, session="z", seed=1)
+            assert service.evict(key)  # from disk too
+            with pytest.raises(ServeError, match="no servable artifact"):
+                service.count(artifact=key, samples=50, session="z2")
+
+    def test_failed_request_poisons_the_session(self, service, monkeypatch):
+        """A request that dies mid-estimate may have consumed part of
+        the session stream; continuing would silently break the
+        determinism contract, so the session refuses further use."""
+        from repro.serve.service import TableHandle
+
+        service.count(samples=50, session="doomed", seed=4)
+
+        def boom(self, estimator, samples, rng, cover_threshold):
+            rng.random(3)  # partially consume the stream
+            raise RuntimeError("mid-estimate failure")
+
+        monkeypatch.setattr(TableHandle, "run", boom)
+        with pytest.raises(RuntimeError, match="mid-estimate"):
+            service.count(samples=50, session="doomed")
+        monkeypatch.undo()
+        with pytest.raises(ServeError, match="poisoned"):
+            service.count(samples=50, session="doomed")
+        # Other sessions are unaffected.
+        assert service.count(samples=50, session="fine", seed=4)
+
+    def test_sessions_pruned_past_cap_and_dropped_on_evict(
+        self, host, cache_root, tmp_path
+    ):
+        import shutil
+
+        root = str(tmp_path / "cache")
+        shutil.copytree(cache_root, root)
+        with SamplingService(root, max_sessions=4) as service:
+            service.add_graph(host)
+            key = _key(root)
+            for index in range(7):
+                service.count(
+                    artifact=key, samples=20,
+                    session=f"c{index}", seed=index,
+                )
+            assert len(service._sessions) == 4
+            # Oldest idle sessions went first; the newest survive.
+            assert (key, "c6") in service._sessions
+            assert (key, "c0") not in service._sessions
+            service.evict(key, from_disk=False)
+            assert service._sessions == {}
+
+    def test_draw_leader_failure_does_not_strand_waiters(
+        self, host, cache_root
+    ):
+        """If the coalesced urn call blows up, every queued job gets the
+        error instead of waiting forever."""
+        with SamplingService(cache_root) as service:
+            service.add_graph(host)
+            handle = service.open(_key(cache_root))
+
+            def explode(*args, **kwargs):
+                raise MemoryError("boom")
+
+            original = handle.urn.sample_batch
+            handle.urn.sample_batch = explode
+            try:
+                with pytest.raises(MemoryError):
+                    handle.draw(16, np.random.default_rng(0))
+            finally:
+                handle.urn.sample_batch = original
+            # The queue is clean: a later draw succeeds.
+            vertices, _t, _m = handle.draw(16, np.random.default_rng(0))
+            assert vertices.shape == (16, handle.k)
+
+    def test_artifacts_listing_reports_warm_state(self, service):
+        listing = service.artifacts()
+        assert len(listing) == 1
+        assert listing[0]["warm"] is False
+        service.count(samples=50, session="w", seed=1)
+        assert service.artifacts()[0]["warm"] is True
+
+
+class TestEmptyUrnMatrix:
+    """The same degenerate input must answer zeros — never raise —
+    through every sampling path: single naive, single AGS, the
+    ensemble engine, and a served request."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        # Two vertices cannot host a connected 4-subgraph.
+        return Graph.from_edges([(0, 1)], n=2)
+
+    def test_single_naive(self, tiny):
+        counter = MotivoCounter(tiny, MotivoConfig(k=4, seed=1))
+        assert counter.build() is None
+        assert counter.empty_urn
+        estimates = counter.sample_naive(100)
+        assert estimates.empty_urn
+        assert estimates.counts == {} and estimates.hits == {}
+        assert estimates.samples == 100
+
+    def test_single_ags(self, tiny):
+        counter = MotivoCounter(tiny, MotivoConfig(k=4, seed=1))
+        counter.build()
+        result = counter.sample_ags(100)
+        assert result.estimates.empty_urn
+        assert result.estimates.counts == {}
+        assert result.covered == set() and result.switches == 0
+
+    def test_json_round_trips_the_flag(self, tiny):
+        from repro.sampling.estimates import GraphletEstimates
+
+        counter = MotivoCounter(tiny, MotivoConfig(k=4, seed=1))
+        counter.build()
+        restored = GraphletEstimates.from_json(
+            counter.sample_naive(10).to_json()
+        )
+        assert restored.empty_urn
+
+    def test_ensemble_records_null_members(self, tiny):
+        from repro.engine import PipelineEngine
+
+        result = PipelineEngine(
+            tiny, MotivoConfig(k=4, seed=1), colorings=3
+        ).run_naive(50)
+        assert result.empty_runs == 3
+        assert result.estimates.counts == {}
+
+    def test_save_artifact_refuses_empty_build(self, tiny, tmp_path):
+        counter = MotivoCounter(tiny, MotivoConfig(k=4, seed=1))
+        counter.build()
+        with pytest.raises(SamplingError, match="empty-urn"):
+            counter.save_artifact(str(tmp_path / "a"))
+
+    def test_cached_build_skips_persisting_empty(self, tiny, tmp_path):
+        root = str(tmp_path / "cache")
+        counter = MotivoCounter(
+            tiny, MotivoConfig(k=4, seed=1, artifact_dir=root)
+        )
+        assert counter.build() is None
+        assert ArtifactCache(root).entries() == []
+        assert counter.sample_naive(10).empty_urn
+
+    def test_served_empty_table_returns_zeros(self, tmp_path):
+        """An artifact whose table has no colorful k-treelets serves
+        '0 occurrences', not a 500."""
+        graph = Graph.from_edges([(0, 1)], n=2)
+        coloring = ColoringScheme.fixed([0, 1], k=3)
+        table = build_table(graph, coloring)
+        root = tmp_path / "cache"
+        root.mkdir()
+        save_table(str(root / "emptykey"), table, coloring, graph)
+        with SamplingService(str(root)) as service:
+            service.add_graph(graph)
+            result = service.count(
+                artifact="emptykey", samples=25, session="e"
+            )
+        assert result.estimates.empty_urn
+        assert result.estimates.counts == {}
+
+
+class TestHTTP:
+    @pytest.fixture()
+    def server(self, service):
+        server = serve_http(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def _url(self, server, path):
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}{path}"
+
+    def _post(self, server, path, payload):
+        request = urllib.request.Request(
+            self._url(server, path),
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.load(response)
+
+    def test_healthz_and_artifacts(self, server):
+        with urllib.request.urlopen(self._url(server, "/healthz")) as resp:
+            health = json.load(resp)
+        assert health["status"] == "ok"
+        with urllib.request.urlopen(self._url(server, "/artifacts")) as resp:
+            listing = json.load(resp)
+        assert len(listing["artifacts"]) == 1
+
+    def test_count_matches_cli_sample_document(
+        self, host, cache_root, server
+    ):
+        body = self._post(
+            server, "/count",
+            {"samples": 300, "session": "h", "seed": 9},
+        )
+        (ref,) = _reference(host, cache_root, 9, [("naive", 300)])
+        assert body["counts"] == json.loads(ref.to_json())["counts"]
+        assert body["hits"] == json.loads(ref.to_json())["hits"]
+        assert body["sequence"] == 0
+        assert body["empty_urn"] is False
+
+    def test_error_statuses(self, server):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._post(server, "/count", {"estimator": "exact"})
+        assert info.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._post(server, "/count", {"artifact": "nope"})
+        assert info.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as info:
+            self._post(server, "/nope", {})
+        assert info.value.code == 404
+        with urllib.request.urlopen(self._url(server, "/healthz")):
+            pass  # server still alive after errors
+
+    def test_concurrent_http_sessions_bit_identical(
+        self, host, cache_root, server
+    ):
+        results: dict = {}
+        barrier = threading.Barrier(4)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            results[index] = self._post(
+                server, "/count",
+                {
+                    "samples": 400,
+                    "session": f"hc{index}",
+                    "seed": 900 + index,
+                },
+            )
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(4):
+            (ref,) = _reference(
+                host, cache_root, 900 + index, [("naive", 400)]
+            )
+            expected = json.loads(ref.to_json())["counts"]
+            assert results[index]["counts"] == expected, index
