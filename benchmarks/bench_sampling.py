@@ -20,21 +20,36 @@ least interference.  Results land as ``BENCH_sampling.json`` at the
 repository root so the perf trajectory is tracked across PRs, plus the
 usual text table under ``benchmarks/results/``.
 
-Run directly (``python benchmarks/bench_sampling.py``).
+Alongside the timing comparison the payload carries a ``plan_cache``
+section: the compiled descent program is saved into a throwaway table
+artifact, reopened, and sampled from — asserting that the warm open
+performed **zero** plan compilations (the build-once / sample-many
+contract of the plan blob).
+
+Run directly (``python benchmarks/bench_sampling.py``).  ``--quick``
+shrinks the workload for CI perf smoke: the bit-identity and
+zero-recompile gates still hold, only the timing protocol is shortened
+(and the result lands as ``BENCH_sampling_quick`` under
+``benchmarks/results/`` so the tracked trajectory file is untouched).
 """
 
 from __future__ import annotations
 
+import argparse
+import os
+import tempfile
 import time
 
 import numpy as np
 
+from repro.artifacts import open_table, save_table
 from repro.colorcoding.buildup import build_table
 from repro.colorcoding.coloring import ColoringScheme
 from repro.colorcoding.urn import TreeletUrn
 from repro.graph.generators import erdos_renyi
 from repro.sampling.occurrences import GraphletClassifier
 from repro.treelets.registry import TreeletRegistry
+from repro.util.instrument import Instrumentation
 
 from common import emit, emit_json, format_table
 
@@ -45,7 +60,14 @@ K = 6
 SAMPLES_PER_ROUND = 2000
 ROUNDS = 5
 MAX_EPOCHS = 10
-TARGET_SPEEDUP = 5.0
+#: Epochs always timed before the early exit may trigger: the first
+#: epoch runs against cold caches (gathered rows filling, classifier
+#: pattern cache still learning the tail), so the capability estimate
+#: needs warm epochs in the pool.
+MIN_EPOCHS = 4
+#: Raised from 5.0 when the fused integer kernel landed (measured
+#: 23-26x on this box; the bar keeps headroom for slower machines).
+TARGET_SPEEDUP = 15.0
 
 
 def _loop_side(urn, classifier, samples, seed):
@@ -64,10 +86,56 @@ def _batched_side(urn, classifier, samples, seed):
     return classifier.classify_batch(vertices)
 
 
+def _plan_cache_check(graph, table, coloring, urn, samples: int) -> dict:
+    """Save the compiled plan into an artifact, reopen, count compiles.
+
+    The warm side must sample without a single plan compilation — its
+    ``descent_plan_compiles`` counter stays at zero (a fresh
+    Instrumentation, so no save-time compile bleeds in) — and return
+    draws bit-identical to the original urn's.
+    """
+    from repro.colorcoding.descent import compile_program
+
+    start = time.perf_counter()
+    compile_program(urn.registry, table)  # a genuinely cold compile
+    compile_seconds = time.perf_counter() - start
+    program = urn.descent_program()
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = os.path.join(tmp, "artifact")
+        save_table(directory, table, coloring, graph,
+                   descent_program=program)
+        start = time.perf_counter()
+        artifact = open_table(directory, graph)
+        open_seconds = time.perf_counter() - start
+        warm_inst = Instrumentation()
+        warm = TreeletUrn(
+            graph, artifact.table, artifact.coloring,
+            program=artifact.descent_program,
+            instrumentation=warm_inst,
+        )
+        seed = 4321
+        warm_out = warm.sample_batch(
+            samples, np.random.default_rng(seed)
+        )
+        cold_out = urn.sample_batch(samples, np.random.default_rng(seed))
+        reopen_identical = all(
+            np.array_equal(a, b) for a, b in zip(warm_out, cold_out)
+        )
+    return {
+        "plan_loaded_from_artifact": artifact.descent_program is not None,
+        "reopen_plan_compiles": int(warm_inst["descent_plan_compiles"]),
+        "reopen_bit_identical": bool(reopen_identical),
+        "plan_compile_seconds": compile_seconds,
+        "warm_open_seconds": open_seconds,
+    }
+
+
 def run_sampling_comparison(
     samples: int = SAMPLES_PER_ROUND,
     rounds: int = ROUNDS,
     max_epochs: int = MAX_EPOCHS,
+    target_speedup: float = TARGET_SPEEDUP,
+    min_epochs: int = MIN_EPOCHS,
 ) -> dict:
     """Interleaved timing of both sampling paths; returns the payload.
 
@@ -127,8 +195,13 @@ def run_sampling_comparison(
             epoch_stats,
             key=lambda e: e["loop_median"] / e["batched_median"],
         )
-        if best["loop_median"] / best["batched_median"] >= TARGET_SPEEDUP:
+        if (
+            epoch + 1 >= min_epochs
+            and best["loop_median"] / best["batched_median"]
+            >= target_speedup
+        ):
             break
+    plan_cache = _plan_cache_check(graph, table, coloring, urn, samples)
     return {
         "workload": {
             "graph": f"G(n={N_VERTICES}, m={N_EDGES})",
@@ -138,10 +211,12 @@ def run_sampling_comparison(
             "rounds": rounds,
             "epochs": len(epoch_stats),
             "protocol": (
-                "interleaved rounds; epochs until target; reported epoch "
-                "= best per-epoch median ratio (capability estimate, "
-                "min-over-reps lifted to epochs; all epochs recorded); "
-                "timing covers draw + classification"
+                "interleaved rounds; epochs until target (but at least "
+                f"{min_epochs}, so warm-cache epochs are in the pool); "
+                "reported epoch = best per-epoch median ratio "
+                "(capability estimate, min-over-reps lifted to epochs; "
+                "all epochs recorded); timing covers draw + "
+                "classification"
             ),
         },
         "loop_seconds": best["loop_median"],
@@ -154,12 +229,32 @@ def run_sampling_comparison(
         "best_round_speedup": best["loop"] / best["batched"],
         "all_epochs": epoch_stats,
         "bit_identical": bool(bit_identical),
+        "plan_cache": plan_cache,
     }
 
 
-def main() -> None:
-    payload = run_sampling_comparison()
-    emit_json("BENCH_sampling", payload, also_repo_root=True)
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI perf smoke: shortened timing protocol, relaxed speedup "
+             "bar; the bit-identity and zero-recompile gates are "
+             "unchanged; writes BENCH_sampling_quick (results dir only)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        payload = run_sampling_comparison(
+            samples=500, rounds=2, max_epochs=2, target_speedup=2.0,
+            min_epochs=1,
+        )
+        payload["quick"] = True
+        emit_json("BENCH_sampling_quick", payload)
+        target = 2.0
+    else:
+        payload = run_sampling_comparison()
+        payload["quick"] = False
+        emit_json("BENCH_sampling", payload, also_repo_root=True)
+        target = TARGET_SPEEDUP
     emit(
         "sampling_engine",
         format_table(
@@ -179,8 +274,12 @@ def main() -> None:
             ],
         ),
     )
-    assert payload["speedup"] >= TARGET_SPEEDUP, payload
+    assert payload["speedup"] >= target, payload
     assert payload["bit_identical"], payload
+    plan_cache = payload["plan_cache"]
+    assert plan_cache["plan_loaded_from_artifact"], payload
+    assert plan_cache["reopen_plan_compiles"] == 0, payload
+    assert plan_cache["reopen_bit_identical"], payload
 
 
 if __name__ == "__main__":

@@ -17,6 +17,9 @@ Directory layout (one table artifact)::
       layer_<h>.keys.bin   48-bit packed keys, key-sorted
       layer_<h>.counts.npy dense codec: float64 matrix (memmap-reopened)
       layer_<h>.counts.bin succinct codec: delta/varint blob
+      descent_plan.npz     optional: the compiled descent program
+                           (sampling-phase plan cache; format-versioned
+                           separately via PLAN_FORMAT_VERSION)
 
 The manifest is the contract: :func:`open_table` refuses artifacts whose
 format name/version it does not understand, whose manifest does not
@@ -50,6 +53,11 @@ from repro.artifacts.codec import (
     unpack_keys,
 )
 from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.descent import (
+    PLAN_FORMAT_VERSION,
+    DescentProgram,
+    table_keys_digest,
+)
 from repro.errors import ArtifactError
 from repro.graph.graph import Graph
 from repro.table.count_table import LAYOUTS, CountTable, Layer, SuccinctLayer
@@ -57,6 +65,7 @@ from repro.util.instrument import Instrumentation
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "TABLE_FORMAT",
     "TableArtifact",
     "save_table",
@@ -67,11 +76,17 @@ __all__ = [
 
 #: Manifest ``format`` tag of a single-table artifact.
 TABLE_FORMAT = "motivo-table-artifact"
-#: Current on-disk format version; bumped on any incompatible change.
-FORMAT_VERSION = 1
+#: Current on-disk format version, the one writers stamp.  Version 2
+#: added the optional ``descent_plan`` blob; version-1 artifacts differ
+#: only by its absence, so readers accept both (the plan then recompiles
+#: on first batched draw — the old behavior).
+FORMAT_VERSION = 2
+#: Manifest versions this build can read.
+SUPPORTED_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 COLORING_NAME = "coloring.npy"
+PLAN_NAME = "descent_plan.npz"
 
 
 def file_digest(path: str) -> str:
@@ -112,10 +127,10 @@ def _require_version(manifest: dict, expected_format: str) -> None:
             f"artifact format {manifest['format']!r} is not {expected_format!r}"
         )
     version = manifest["format_version"]
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ArtifactError(
             f"artifact format version {version} is not supported "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
 
 
@@ -149,6 +164,11 @@ class TableArtifact:
     rng_state:
         Post-build bit-generator state of the master stream, or ``None``
         when the build ran without a recorded state.
+    descent_program:
+        The artifact's cached
+        :class:`~repro.colorcoding.descent.DescentProgram`, validated
+        against the loaded table — or ``None`` for artifacts saved
+        without one (the urn then compiles on first batched draw).
     """
 
     def __init__(
@@ -157,11 +177,13 @@ class TableArtifact:
         manifest: dict,
         table: Optional[CountTable] = None,
         coloring: Optional[ColoringScheme] = None,
+        descent_program: Optional[DescentProgram] = None,
     ):
         self.directory = directory
         self.manifest = manifest
         self.table = table
         self.coloring = coloring
+        self.descent_program = descent_program
 
     @property
     def k(self) -> int:
@@ -213,6 +235,8 @@ class TableArtifact:
             for layer in self.manifest.get("layers", []):
                 blobs.append(layer["keys"])
                 blobs.append(layer["counts"])
+            if self.manifest.get("descent_plan") is not None:
+                blobs.append(self.manifest["descent_plan"])
             blobs = [
                 (blob["file"], int(blob["bytes"]), blob["digest"])
                 for blob in blobs
@@ -258,6 +282,7 @@ def save_table(
     rng_state: Optional[dict] = None,
     instrumentation: Optional[Instrumentation] = None,
     source: Optional[str] = None,
+    descent_program: Optional[DescentProgram] = None,
 ) -> TableArtifact:
     """Persist a finished count table as an artifact directory.
 
@@ -283,6 +308,11 @@ def save_table(
     source:
         Optional graph-source hint (a path or dataset name) for CLI
         convenience; never trusted over the fingerprint.
+    descent_program:
+        Compiled sampling-phase plan to cache alongside the table
+        (``descent_plan.npz``), so :func:`open_table` hands reopened
+        urns a ready program and warm opens never compile.  Must have
+        been compiled against exactly this table.
     """
     if codec not in CODECS:
         raise ArtifactError(f"unknown codec {codec!r}; choose from {CODECS}")
@@ -303,7 +333,11 @@ def save_table(
     except OSError:
         pass
     for name in os.listdir(directory):
-        if name.startswith("layer_") or name == COLORING_NAME:
+        if (
+            name.startswith("layer_")
+            or name == COLORING_NAME
+            or name == PLAN_NAME
+        ):
             try:
                 os.remove(os.path.join(directory, name))
             except OSError:
@@ -351,6 +385,26 @@ def save_table(
         payload += entry["keys"]["bytes"] + entry["counts"]["bytes"]
         layers.append(entry)
 
+    plan_entry: Optional[Dict[str, object]] = None
+    if descent_program is not None:
+        try:
+            descent_program.validate_for(
+                table, digest=table_keys_digest(table)
+            )
+        except ValueError as error:
+            raise ArtifactError(
+                f"descent program does not match the table being saved: "
+                f"{error}"
+            ) from None
+        np.savez(
+            os.path.join(directory, PLAN_NAME), **descent_program.to_arrays()
+        )
+        plan_entry = _blob_entry(directory, PLAN_NAME)
+        plan_entry["plan_format_version"] = PLAN_FORMAT_VERSION
+        # Plan bytes are deliberately excluded from payload_bytes: that
+        # figure feeds the paper's bits-per-pair storage accounting,
+        # which measures the table itself, not derived caches.
+
     coloring_entry = _blob_entry(directory, COLORING_NAME)
     payload += coloring_entry["bytes"]
     manifest = {
@@ -375,9 +429,12 @@ def save_table(
         "layers": layers,
         "total_pairs": total_pairs,
         "payload_bytes": payload,
+        **({"descent_plan": plan_entry} if plan_entry else {}),
     }
     _write_manifest(directory, manifest)
-    return TableArtifact(directory, manifest, table, coloring)
+    return TableArtifact(
+        directory, manifest, table, coloring, descent_program
+    )
 
 
 def _write_manifest(directory: str, manifest: dict) -> None:
@@ -413,6 +470,15 @@ def open_table(
     :class:`~repro.errors.ArtifactError` on a corrupted manifest,
     format-version skew, or graph-fingerprint mismatch; ``verify=True``
     additionally recomputes every blob digest before loading.
+
+    Plan-carrying artifacts (format version 2 with a ``descent_plan``
+    entry) also load the cached descent program and validate it against
+    the loaded table — key-universe digest included — so the returned
+    artifact's ``descent_program`` is ready to sample with zero
+    compilation.  A stale or version-skewed plan fails loud with
+    :class:`~repro.errors.ArtifactError`; an *absent* plan entry (old
+    artifacts) is not an error — ``descent_program`` is then ``None``
+    and the urn recompiles on first batched draw.
     """
     manifest = load_manifest(directory)
     _require_version(manifest, TABLE_FORMAT)
@@ -490,4 +556,52 @@ def open_table(
         ) from None
     artifact.table = table
     artifact.coloring = coloring
+    artifact.descent_program = _load_descent_plan(directory, manifest, table)
     return artifact
+
+
+def _load_descent_plan(
+    directory: str, manifest: dict, table: CountTable
+) -> Optional[DescentProgram]:
+    """Load and validate the artifact's cached descent program.
+
+    Missing entry → ``None`` (recompile fallback).  Anything else that
+    is not a fully valid plan for *this* table — unknown plan format
+    version, unreadable blob, or a key universe that no longer matches —
+    raises :class:`~repro.errors.ArtifactError`: a silently wrong plan
+    would sample garbage, so staleness must fail loud.
+    """
+    entry = manifest.get("descent_plan")
+    if entry is None:
+        return None
+    try:
+        recorded_version = int(entry["plan_format_version"])
+        plan_path = os.path.join(directory, entry["file"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ArtifactError(
+            f"corrupted descent plan entry in {directory}: {error!r}"
+        ) from None
+    if recorded_version != PLAN_FORMAT_VERSION:
+        raise ArtifactError(
+            f"descent plan format version {recorded_version} is not "
+            f"supported (this build reads version {PLAN_FORMAT_VERSION})"
+        )
+    try:
+        with np.load(plan_path, allow_pickle=False) as data:
+            program = DescentProgram.from_arrays(data)
+    except OSError as error:
+        raise ArtifactError(
+            f"unreadable descent plan blob {plan_path}: {error}"
+        ) from None
+    except (KeyError, ValueError) as error:
+        raise ArtifactError(
+            f"corrupted descent plan blob {plan_path}: {error}"
+        ) from None
+    try:
+        program.validate_for(table, digest=table_keys_digest(table))
+    except ValueError as error:
+        raise ArtifactError(
+            f"stale descent plan in {directory} (rebuild the artifact): "
+            f"{error}"
+        ) from None
+    return program

@@ -39,6 +39,7 @@ from repro.graph.datasets import dataset_names, load_dataset
 from repro.graph.graph import Graph
 from repro.graph.io import load_graph, save_binary, save_edge_list
 from repro.graphlets.encoding import decode_graphlet, graphlet_edge_count
+from repro.colorcoding.urn import DEFAULT_DESCENT_CACHE_BYTES
 from repro.motivo import MotivoConfig, MotivoCounter
 from repro.sampling.naive import DEFAULT_BATCH_SIZE
 
@@ -94,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-memory count-table layout: dense matrices or the "
              "paper's succinct CSR records (same estimates either way; "
              "succinct holds O(stored pairs) resident)",
+    )
+    count.add_argument(
+        "--descent-cache-bytes", type=int,
+        default=DEFAULT_DESCENT_CACHE_BYTES,
+        help="budget for the sampler's cached gathered-cumulative rows; "
+             "rows past it are rebuilt per batch (default "
+             f"{DEFAULT_DESCENT_CACHE_BYTES})",
     )
     count.add_argument(
         "--biased-lambda", type=float, default=None,
@@ -163,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--spill-dir", default=None,
         help="greedy-flush layers here during the build",
+    )
+    build.add_argument(
+        "--descent-cache-bytes", type=int,
+        default=DEFAULT_DESCENT_CACHE_BYTES,
+        help="gathered-cumulative row budget recorded in the artifact "
+             "(later sample/serve runs adopt it; default "
+             f"{DEFAULT_DESCENT_CACHE_BYTES})",
     )
 
     sample = commands.add_parser(
@@ -353,6 +368,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         batch_size=args.batch_size,
         table_layout=args.table_layout,
+        descent_cache_bytes=args.descent_cache_bytes,
     )
     if args.colorings > 1:
         estimates = _run_ensemble(graph, config, args)
@@ -422,6 +438,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         spill_dir=args.spill_dir,
         kernel=args.kernel,
         table_layout=args.table_layout,
+        descent_cache_bytes=args.descent_cache_bytes,
     )
     start = time.perf_counter()
     if args.colorings > 1:

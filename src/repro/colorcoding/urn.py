@@ -49,13 +49,28 @@ sum the scalar path ever forms.  While that stays below 2^53 the two
 paths cannot diverge; beyond it both keep working but may round
 differently.  No surrogate workload comes near the bound.
 
-Vectorized descent caches, per layer, a CSR-gathered cumulative count
-matrix (one ``O(m)`` row per ``(T'', C'')`` key, filled lazily on first
-use and reused by every subsequent batch) plus the resolved split
-candidates per ``(T', T'', C)`` — the batch counterpart of §3.2's
-neighbor buffering, which ``sample()`` still uses for its scalar draws.
-The matrices hold one ``2m``-float row per key the descent actually
-visits (grow-on-demand slots), never the whole key universe.
+Fused descent kernel.  The vectorized path replays a single compiled
+:class:`~repro.colorcoding.descent.DescentProgram` — every treelet plan,
+split group and gathered-key resolved eagerly into flat index arrays —
+so a frontier wave is a handful of full-array passes instead of a Python
+loop over ``(T', T'', C)`` groups: group bounds come from one dense (or
+binary-searched) lookup, all candidates pad to a ``(Lmax, wave)`` matrix
+whose padded lanes get exact-0.0 weights (padding cannot perturb the
+prefix sums), and the child endpoint inverts the gathered running sums
+by vectorized bisection.  Programs are pure table metadata: artifacts
+cache them (``descent_plan.npz``) and hand them back via the
+``program=`` constructor argument, so warm opens never compile.
+
+The gathered-cumulative matrix is a single global grow-on-demand store
+(one ``O(m)`` row per ``(T'', C'')`` key the descent actually visits,
+shared across layers and batches) held at the narrowest **exact integer
+dtype** — uint32 when ``max_count · 2m < 2^32``, else int64 — halving
+memory traffic versus float64 rows.  Integer running sums also make the
+child inversion exact at any magnitude: the scalar rule
+``searchsorted(running, u·s, side="right")`` counts ``running <= u·s``,
+which for integer running sums equals ``running <= floor(u·s)``, an
+int64 comparison with no rounding anywhere.  Split weights stay float64
+products, performing the same float ops as the scalar recursion.
 
 Table layouts: every table access goes through the
 :class:`~repro.table.count_table.LayerView` protocol (``row_values`` for
@@ -80,7 +95,7 @@ import numpy as np
 
 from repro.errors import SamplingError
 from repro.colorcoding.coloring import ColoringScheme
-from repro.colorcoding.descent import DescentPlan, compile_descent
+from repro.colorcoding.descent import DescentProgram, compile_program
 from repro.graph.graph import Graph
 from repro.table.count_table import CountTable
 from repro.treelets.encoding import getsize
@@ -102,11 +117,14 @@ BatchSamples = Tuple[np.ndarray, np.ndarray, np.ndarray]
 #: recursion and the vectorized engine so their comparisons agree.
 _SPLIT_EPS = 1e-300
 
-#: Byte budget for the cached gathered-cumulative rows (each row costs
-#: ``(2m + 1) · 8`` bytes).  Keys beyond the budget are computed
-#: transiently per batch instead of cached, so the batched sampler's
-#: resident memory stays bounded on paper-scale graphs.
-_GATHERED_CACHE_BYTES = 256 * 1024 * 1024
+#: Default byte budget for the cached gathered-cumulative rows (each row
+#: costs ``(2m + 1)`` entries at the store's integer dtype; budgeting
+#: assumes the conservative 8 bytes each).  Keys beyond the budget are
+#: computed transiently per batch instead of cached, so the batched
+#: sampler's resident memory stays bounded on paper-scale graphs.
+#: Overridable per urn via ``descent_cache_bytes`` (see
+#: ``MotivoConfig.descent_cache_bytes`` / ``--descent-cache-bytes``).
+DEFAULT_DESCENT_CACHE_BYTES = 256 * 1024 * 1024
 
 
 class _UniformRow:
@@ -145,6 +163,14 @@ class TreeletUrn:
         its gathered-cumulative cache instead.
     buffer_size:
         How many children to draw per sweep when buffering (paper: 100).
+    program:
+        A pre-compiled :class:`DescentProgram` for this table (from a
+        plan-carrying artifact).  ``None`` compiles lazily on the first
+        batched draw.  A program that does not match the table raises
+        :class:`SamplingError` immediately.
+    descent_cache_bytes:
+        Byte budget of the gathered-cumulative row cache (default
+        ``DEFAULT_DESCENT_CACHE_BYTES``).
     """
 
     def __init__(
@@ -156,6 +182,8 @@ class TreeletUrn:
         buffer_threshold: int = 10_000,
         buffer_size: int = 100,
         instrumentation: Optional[Instrumentation] = None,
+        program: Optional[DescentProgram] = None,
+        descent_cache_bytes: Optional[int] = None,
     ):
         self.graph = graph
         self.table = table
@@ -186,25 +214,29 @@ class TreeletUrn:
         # Neighbor buffers: (v, treelet, mask) -> list of pre-drawn children.
         self._buffers: Dict[Tuple[int, int, int], List[int]] = {}
 
-        # Batched-path caches: compiled descent plans per rooted treelet
-        # (flattened into one global node table so the frontier can mix
-        # treelets), resolved split candidates per (T', T'', mask),
-        # per-layer CSR-gathered cumulative count matrices (rows filled
-        # lazily), and the size-k layer's keys as parallel arrays.
-        self._plans: Dict[int, DescentPlan] = {}
-        self._plan_roots: Dict[int, int] = {}
-        self._node_rows: List[Tuple[bool, int, int, int, int, int]] = []
-        self._node_table: Optional[Tuple[np.ndarray, ...]] = None
-        self._ops: List[Tuple[int, int]] = []
-        self._op_index: Dict[Tuple[int, int], int] = {}
-        self._split_cache: Dict[
-            Tuple[int, int, int],
-            Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]],
-        ] = {}
-        self._layer_gathered: Dict[int, "dict[str, object]"] = {}
+        # Batched-path state: the compiled descent program (plans, split
+        # groups and gathered keys fused into flat arrays; handed in
+        # pre-compiled when the table came from a plan-carrying artifact),
+        # the global integer gathered-cumulative store, and the size-k
+        # layer's keys as parallel arrays.
+        if program is not None:
+            try:
+                program.validate_for(table)
+            except ValueError as exc:
+                raise SamplingError(
+                    f"descent program does not match the table: {exc}"
+                ) from exc
+        self._program = program
+        if descent_cache_bytes is None:
+            descent_cache_bytes = DEFAULT_DESCENT_CACHE_BYTES
+        self.descent_cache_bytes = int(descent_cache_bytes)
         row_bytes = (graph.indices.size + 1) * 8
-        self._gathered_row_budget = max(16, _GATHERED_CACHE_BYTES // row_bytes)
+        self._gathered_row_budget = max(
+            16, self.descent_cache_bytes // row_bytes
+        )
         self._gathered_cached_rows = 0
+        self._gath_matrix: Optional[np.ndarray] = None
+        self._gath_slot: Optional[np.ndarray] = None
         self._key_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
@@ -510,167 +542,123 @@ class TreeletUrn:
         chosen = np.minimum(chosen, len(variants) - 1)
         return np.asarray(variants, dtype=np.int64)[chosen]
 
-    def _plan_root(self, treelet: int) -> int:
-        """Global node-table id of the treelet's plan root (compiling and
-        installing the plan into the table on first use)."""
-        root = self._plan_roots.get(treelet)
-        if root is not None:
-            return root
-        plan = compile_descent(self.registry, treelet)
-        self._plans[treelet] = plan
-        base = len(self._node_rows)
-        for node in plan.nodes:
-            if node.is_leaf:
-                self._node_rows.append((True, node.leaf_column, -1, -1, -1, -1))
-                continue
-            op_key = (node.t_prime, node.t_second)
-            op = self._op_index.get(op_key)
-            if op is None:
-                op = len(self._ops)
-                self._ops.append(op_key)
-                self._op_index[op_key] = op
-            self._node_rows.append(
-                (False, -1, node.rank, op, base + node.left, base + node.right)
-            )
-        self._node_table = None  # rebuilt lazily from the extended rows
-        self._plan_roots[treelet] = base
-        return base
+    def descent_program(self) -> DescentProgram:
+        """The urn's compiled descent program, compiling on first need.
 
-    def _node_arrays(self) -> Tuple[np.ndarray, ...]:
-        """The global node table as parallel arrays
-        ``(is_leaf, leaf_col, rank, op, left, right)``."""
-        if self._node_table is None:
-            rows = self._node_rows
-            self._node_table = (
-                np.array([r[0] for r in rows], dtype=bool),
-                np.array([r[1] for r in rows], dtype=np.int64),
-                np.array([r[2] for r in rows], dtype=np.int64),
-                np.array([r[3] for r in rows], dtype=np.int64),
-                np.array([r[4] for r in rows], dtype=np.int64),
-                np.array([r[5] for r in rows], dtype=np.int64),
-            )
-        return self._node_table
-
-    def _gathered(
-        self, size: int, rows: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Gathered-cumulative rows for layer keys: ``(matrix, slots)``.
-
-        ``matrix[slots[i]]`` holds, for ``rows[i]``'s key, ``2m + 1``
-        running sums with a leading zero: for any vertex ``v`` the slice
-        ``[indptr[v]+1 : indptr[v+1]+1]`` minus the value at ``indptr[v]``
-        is exactly the per-neighbor running sum the scalar path computes
-        with ``cumsum(counts[neighbors])``, and the difference of the
-        slice endpoints is the neighbor total.  Exact because counts are
-        integer-valued (see the module docstring for the magnitude
-        caveat).
-
-        Rows are built once (one ``O(m)`` pass each) and cached in a
-        grow-on-demand matrix holding only keys the descent actually
-        visits — the batch counterpart of §3.2 neighbor buffering.  The
-        cache is capped at ``_GATHERED_CACHE_BYTES`` across all layers;
-        once full, requests involving uncached keys get a transient
-        per-call matrix instead (same arithmetic, nothing retained), so
-        resident memory stays bounded on paper-scale graphs.
+        Pure ``(registry, table)`` metadata — deterministic, so it can be
+        compiled once, stored in the table artifact, and handed back via
+        the ``program=`` constructor argument; urns opened that way never
+        compile (``descent_plan_compiles`` stays at zero).
         """
-        entry = self._layer_gathered.get(size)
-        if entry is None:
-            entry = {
-                "matrix": np.zeros(
-                    (0, self.graph.indices.size + 1), dtype=np.float64
-                ),
-                "slot_of": {},
-            }
-            self._layer_gathered[size] = entry
-        slot_of: Dict[int, int] = entry["slot_of"]
-        missing = [row for row in rows if row not in slot_of]
-        layer = self.table.layer(size)
-        if missing:
-            # Fill whatever budget remains, then serve any leftover keys
-            # from a transient matrix so the whole budget is always used.
+        if self._program is None:
+            with self.instrumentation.timer("descent_plan_compile"):
+                self._program = compile_program(self.registry, self.table)
+            self.instrumentation.count("descent_plan_compiles")
+        return self._program
+
+    # -- gathered-cumulative store ---------------------------------------
+
+    def _gathered_dtype(self) -> np.dtype:
+        """Narrowest exact integer dtype for the gathered running sums.
+
+        A gathered row's largest entry is bounded by ``max_count · 2m``
+        over layers ``1..k-1`` (only ``T''`` layers feed gathered rows —
+        never the big size-k layer); when that fits uint32 the store
+        halves its memory traffic, else it widens to int64.
+        """
+        largest = 0.0
+        for size in range(1, self.k):
+            largest = max(largest, self.table.layer(size).max_value())
+        bound = largest * self.graph.indices.size
+        return np.dtype(np.uint32) if bound < 2**32 else np.dtype(np.int64)
+
+    def _ensure_gathered(self) -> None:
+        if self._gath_slot is None:
+            self._gath_slot = np.full(
+                self._program.num_gathered_keys, -1, dtype=np.int64
+            )
+            self._gath_matrix = np.zeros(
+                (0, self.graph.indices.size + 1), dtype=self._gathered_dtype()
+            )
+
+    def _build_gathered_row(self, gk: int, out_row: np.ndarray) -> None:
+        """Fill one gathered-cumulative row: a leading zero, then the
+        running sum of the key's counts gathered over the edge list.
+        Counts are integer-valued floats, so accumulating in int64 is
+        exact (and the uint32 narrowing is bounds-checked by dtype
+        selection)."""
+        program = self._program
+        layer = self.table.layer(int(program.gk_size[gk]))
+        values = layer.row_values(int(program.gk_row[gk]))[self.graph.indices]
+        out_row[0] = 0
+        out_row[1:] = np.cumsum(values, dtype=np.int64)
+
+    def _gathered_rows(
+        self, gkids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gathered-cumulative rows for gathered-key ids: ``(matrix,
+        slot_of)`` with ``matrix[slot_of[gk]]`` holding key ``gk``'s row.
+
+        For any vertex ``v`` the slice ``[indptr[v]+1 : indptr[v+1]+1]``
+        minus the entry at ``indptr[v]`` is exactly the per-neighbor
+        running sum the scalar path computes with
+        ``cumsum(counts[neighbors])``, and the difference of the slice
+        endpoints is the neighbor total.
+
+        Rows are built once (one ``O(m)`` pass each) into a global
+        grow-on-demand matrix shared by all layers, capped at
+        ``descent_cache_bytes``; once full, waves touching uncached keys
+        get a transient per-call matrix instead (same arithmetic, nothing
+        retained, counted as ``gathered_budget_fallbacks``), so resident
+        memory stays bounded on paper-scale graphs.
+        """
+        self._ensure_gathered()
+        slot = self._gath_slot
+        if not (slot[gkids] < 0).any():
+            return self._gath_matrix, slot
+        with self.instrumentation.timer("sample_gather"):
+            flat = gkids.ravel()
+            missing = np.unique(flat[slot[flat] < 0])
             room = self._gathered_row_budget - self._gathered_cached_rows
             to_cache = missing[: max(room, 0)]
-            if to_cache:
-                matrix = entry["matrix"]
-                needed = len(slot_of) + len(to_cache)
+            if to_cache.size:
+                matrix = self._gath_matrix
+                needed = self._gathered_cached_rows + int(to_cache.size)
                 if needed > matrix.shape[0]:
                     grown = np.zeros(
                         (max(needed, 2 * matrix.shape[0]), matrix.shape[1]),
-                        dtype=np.float64,
+                        dtype=matrix.dtype,
                     )
                     grown[: matrix.shape[0]] = matrix
-                    entry["matrix"] = matrix = grown
-                for row in to_cache:
-                    slot = len(slot_of)
-                    slot_of[row] = slot
-                    np.cumsum(
-                        layer.row_values(row)[self.graph.indices],
-                        out=matrix[slot, 1:],
-                    )
+                    self._gath_matrix = matrix = grown
+                for gk in to_cache:
+                    target = self._gathered_cached_rows
+                    self._build_gathered_row(int(gk), matrix[target])
+                    slot[gk] = target
                     self._gathered_cached_rows += 1
                     self.instrumentation.count("gathered_cumulative_builds")
-            if len(to_cache) < len(missing):
+            if to_cache.size < missing.size:
+                self.instrumentation.count("gathered_budget_fallbacks")
+                wanted = np.unique(flat)
                 transient = np.zeros(
-                    (len(rows), self.graph.indices.size + 1),
-                    dtype=np.float64,
+                    (wanted.size, self.graph.indices.size + 1),
+                    dtype=self._gath_matrix.dtype,
                 )
-                for i, row in enumerate(rows):
-                    slot = slot_of.get(row)
-                    if slot is not None:
-                        transient[i] = entry["matrix"][slot]
+                tmp_slot = np.full(slot.size, -1, dtype=np.int64)
+                for i, gk in enumerate(wanted):
+                    tmp_slot[gk] = i
+                    cached = slot[gk]
+                    if cached >= 0:
+                        transient[i] = self._gath_matrix[cached]
                     else:
-                        np.cumsum(
-                            layer.row_values(row)[self.graph.indices],
-                            out=transient[i, 1:],
-                        )
+                        self._build_gathered_row(int(gk), transient[i])
                         self.instrumentation.count(
                             "gathered_transient_builds"
                         )
-                return transient, np.arange(len(rows), dtype=np.int64)
-        slots = np.array([slot_of[row] for row in rows], dtype=np.int64)
-        return entry["matrix"], slots
+                return transient, tmp_slot
+        return self._gath_matrix, slot
 
-    def _split_info(
-        self, t_prime: int, t_second: int, mask: int
-    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        """Resolved split candidates for one ``(T', T'', mask)`` node.
-
-        Returns ``(sub_masks, second_rows, prime_rows)`` — the candidate
-        color splits in ``iter_subsets_of_size`` order whose both table
-        rows exist, with their row indices into the two layers — or
-        ``None`` when the key universe realizes no candidate at all.
-        Pure table metadata, cached for the urn's lifetime.
-        """
-        key = (t_prime, t_second, mask)
-        if key in self._split_cache:
-            return self._split_cache[key]
-        h_second = getsize(t_second)
-        layer_prime = self.table.layer(getsize(t_prime))
-        layer_second = self.table.layer(h_second)
-        subs: List[int] = []
-        second_rows: List[int] = []
-        prime_rows: List[int] = []
-        for sub in iter_subsets_of_size(mask, h_second):
-            row_second = layer_second.row_of(t_second, sub)
-            if row_second is None:
-                continue
-            row_prime = layer_prime.row_of(t_prime, mask ^ sub)
-            if row_prime is None:
-                continue
-            subs.append(sub)
-            second_rows.append(row_second)
-            prime_rows.append(row_prime)
-        info = (
-            None
-            if not subs
-            else (
-                np.array(subs, dtype=np.int64),
-                np.array(second_rows, dtype=np.int64),
-                np.array(prime_rows, dtype=np.int64),
-            )
-        )
-        self._split_cache[key] = info
-        return info
+    # -- fused descent kernel --------------------------------------------
 
     def _descend_batch(
         self,
@@ -679,107 +667,121 @@ class TreeletUrn:
         roots: np.ndarray,
         uniforms: np.ndarray,
     ) -> np.ndarray:
-        """Materialize every sample's copy by replaying descent plans.
+        """Materialize every sample's copy by replaying the program.
 
         Level-synchronous frontier: every sample starts at its plan's
-        root in the global node table; each wave resolves leaves into the
-        output matrix and splits the internal items into their two
-        children, grouping the split work by ``(T', T'', mask)`` *across*
-        treelets — coalescing work that a per-treelet walk would
-        fragment.  Waves = decomposition-tree depth ≤ k - 1.
+        root in the program's node table; each wave resolves leaves into
+        the output matrix and splits the internal items into their two
+        children via one fused pass over the whole frontier
+        (:meth:`_fused_wave`).  Waves = decomposition-tree depth ≤ k - 1.
         """
+        program = self.descent_program()
         n = treelets.shape[0]
         out = np.empty((n, self.k), dtype=np.int64)
-        gids = np.empty(n, dtype=np.int64)
-        for treelet in np.unique(treelets):
-            gids[treelets == treelet] = self._plan_root(int(treelet))
-        is_leaf, leaf_col, node_rank, node_op, left, right = (
-            self._node_arrays()
-        )
+        try:
+            gids = program.plan_root_ids(np.asarray(treelets, dtype=np.int64))
+        except ValueError as exc:
+            raise SamplingError(str(exc)) from exc
+        is_leaf = program.node_is_leaf
+        leaf_col = program.node_leaf_col
+        node_rank = program.node_rank
+        node_op = program.node_op
+        left = program.node_left
+        right = program.node_right
         samples = np.arange(n, dtype=np.int64)
         masks = masks.astype(np.int64)
         verts = np.asarray(roots, dtype=np.int64)
 
-        while samples.size:
-            at_leaf = is_leaf[gids]
-            if at_leaf.any():
-                hit = np.flatnonzero(at_leaf)
-                out[samples[hit], leaf_col[gids[hit]]] = verts[hit]
-                keep = ~at_leaf
-                samples, gids = samples[keep], gids[keep]
-                masks, verts = masks[keep], verts[keep]
-                if not samples.size:
-                    break
-            ranks = node_rank[gids]
-            split_u = uniforms[samples, 3 + 2 * ranks]
-            child_u = uniforms[samples, 4 + 2 * ranks]
-            sub_masks = np.empty(samples.size, dtype=np.int64)
-            children = np.empty(samples.size, dtype=np.int64)
-            group_keys = node_op[gids] << self.k | masks
-            for key in np.unique(group_keys):
-                group = np.flatnonzero(group_keys == key)
-                t_prime, t_second = self._ops[int(key) >> self.k]
-                subs, kids = self._choose_split_group(
-                    t_prime, t_second, int(key) & self._full_mask,
-                    verts[group], split_u[group], child_u[group],
+        with self.instrumentation.timer("sample_descent"):
+            while samples.size:
+                at_leaf = is_leaf[gids]
+                if at_leaf.any():
+                    hit = np.flatnonzero(at_leaf)
+                    out[samples[hit], leaf_col[gids[hit]]] = verts[hit]
+                    keep = ~at_leaf
+                    samples, gids = samples[keep], gids[keep]
+                    masks, verts = masks[keep], verts[keep]
+                    if not samples.size:
+                        break
+                ranks = node_rank[gids]
+                split_u = uniforms[samples, 3 + 2 * ranks]
+                child_u = uniforms[samples, 4 + 2 * ranks]
+                sub_masks, children = self._fused_wave(
+                    program, node_op[gids], masks, verts, split_u, child_u
                 )
-                sub_masks[group] = subs
-                children[group] = kids
-            samples = np.concatenate([samples, samples])
-            gids = np.concatenate([left[gids], right[gids]])
-            verts = np.concatenate([verts, children])
-            masks = np.concatenate([masks ^ sub_masks, sub_masks])
+                samples = np.concatenate([samples, samples])
+                gids = np.concatenate([left[gids], right[gids]])
+                verts = np.concatenate([verts, children])
+                masks = np.concatenate([masks ^ sub_masks, sub_masks])
         return out
 
-    def _choose_split_group(
+    def _fused_wave(
         self,
-        t_prime: int,
-        t_second: int,
-        mask: int,
-        v: np.ndarray,
+        program: DescentProgram,
+        ops: np.ndarray,
+        masks: np.ndarray,
+        verts: np.ndarray,
         split_u: np.ndarray,
         child_u: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized color-split and child-endpoint choice, one group.
+        """Color-split and child-endpoint choice for one whole wave.
 
-        All samples share the node's ``(T', T'', mask)``; only the vertex
-        varies.  Mirrors the scalar recursion decision by decision:
-        candidate order is ``iter_subsets_of_size``, weights are
-        ``c(T'_{C\\C''}, v) · S(T''_{C''}, v)``, the winner is the first
-        candidate whose running weight reaches ``u · total`` (with the
-        same ``1e-300`` tie epsilon), and the child endpoint inverts the
-        per-neighbor running sum.  All sums involved are integer-valued,
-        so every comparison matches the scalar path bit for bit.
+        Mirrors the scalar recursion decision by decision, but across
+        every ``(T', T'', mask)`` group of the frontier at once: group
+        candidate lists pad to a ``(Lmax, wave)`` matrix (padded lanes
+        duplicate a group's last real candidate, then get exact-0.0
+        weight via the validity mask, so prefix sums are untouched);
+        weights are ``c(T'_{C\\C''}, v) · S(T''_{C''}, v)`` with the
+        prime factor point-gathered per layer (``pairs_at``) and the
+        second factor read as integer endpoint differences off the
+        gathered store; the winner is the first included candidate whose
+        running weight reaches ``u · total`` (same ``1e-300`` tie
+        epsilon); and the child endpoint inverts the gathered running
+        sums by bisection against the exact integer threshold
+        ``G[start] + floor(u · s)`` — identical, comparison by
+        comparison, to the scalar ``searchsorted`` rule.
         """
-        info = self._split_info(t_prime, t_second, mask)
-        if info is None:
+        gids = ops << self.k | masks
+        start, length = program.group_bounds(gids)
+        if np.any(length <= 0):
+            bad = int(verts[np.argmax(length <= 0)])
             raise SamplingError(
                 "inconsistent table: no valid split for treelet at "
-                f"vertex {int(v[0])}"
+                f"vertex {bad}"
             )
-        subs_arr, second_rows, prime_rows = info
-        layer_prime = self.table.layer(getsize(t_prime))
-        gathered, second_slots = self._gathered(getsize(t_second), second_rows)
-        indptr = self.graph.indptr
+        lmax = int(length.max())
+        lane = np.arange(lmax, dtype=np.int64)[:, None]
+        valid = lane < length[None, :]
+        cand = start[None, :] + np.minimum(lane, (length - 1)[None, :])
 
-        # (P, g) candidate weights: c(T'_{C\C''}, v) · S(T''_{C''}, v).
-        starts = indptr[v]
-        ends = indptr[v + 1]
-        s_vals = (
-            gathered[second_slots[:, None], ends[None, :]]
-            - gathered[second_slots[:, None], starts[None, :]]
-        )
-        prime_vals = layer_prime.values_at(prime_rows, v)
+        prime_rows = program.cand_prime_row[cand]
+        prime_sizes = program.op_prime_size[ops]
+        prime_vals = np.empty(cand.shape, dtype=np.float64)
+        for size in np.unique(prime_sizes):
+            sel = prime_sizes == size
+            prime_vals[:, sel] = self.table.layer(int(size)).pairs_at(
+                prime_rows[:, sel],
+                np.broadcast_to(verts[sel], (lmax, int(sel.sum()))),
+            )
+
+        second_gk = program.cand_second_gkid[cand]
+        gathered, slot = self._gathered_rows(second_gk)
+        sl = slot[second_gk]
+        indptr = self.graph.indptr
+        starts = indptr[verts]
+        ends = indptr[verts + 1]
+        s_vals = gathered[sl, ends[None, :]] - gathered[sl, starts[None, :]]
+
         weights = np.where(
-            (prime_vals > 0.0) & (s_vals > 0.0),
-            prime_vals * s_vals,
+            valid & (prime_vals > 0.0) & (s_vals > 0),
+            prime_vals * s_vals.astype(np.float64),
             0.0,
         )
         included = weights > 0.0
         cumulative = np.cumsum(weights, axis=0)
         totals = cumulative[-1]
         if np.any(totals <= 0.0):
-            bad = int(v[np.argmax(totals <= 0.0)])
+            bad = int(verts[np.argmax(totals <= 0.0)])
             raise SamplingError(
                 "inconsistent table: no valid split for treelet at "
                 f"vertex {bad}"
@@ -796,49 +798,50 @@ class TreeletUrn:
         included_order = np.cumsum(included, axis=0)
         position = np.argmax(included_order == (rank + 1)[None, :], axis=0)
 
-        chosen_slots = second_slots[position]
-        targets_child = child_u * s_vals[position, np.arange(v.size)]
-        children = self._draw_children_batch(
-            gathered, chosen_slots, v, targets_child
+        lanes = np.arange(verts.size)
+        chosen = cand[position, lanes]
+        chosen_slots = sl[position, lanes]
+        chosen_s = s_vals[position, lanes].astype(np.float64)
+        # The scalar child rule counts running sums <= u·s; running sums
+        # are integers, so that equals counting <= floor(u·s) — an exact
+        # int64 threshold against the absolute gathered row.
+        offsets = np.floor(child_u * chosen_s).astype(np.int64)
+        thresholds = gathered[chosen_slots, starts].astype(np.int64) + offsets
+        children = self._invert_children(
+            gathered, chosen_slots, starts, ends, thresholds
         )
-        return subs_arr[position], children
+        self.instrumentation.count("batched_child_draws", verts.size)
+        return program.cand_sub[chosen], children
 
-    def _draw_children_batch(
+    def _invert_children(
         self,
         gathered: np.ndarray,
-        rows: np.ndarray,
-        verts: np.ndarray,
-        targets: np.ndarray,
+        slots: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        thresholds: np.ndarray,
     ) -> np.ndarray:
-        """Invert per-neighbor running sums for many vertices at once.
+        """Per-sample bisection over gathered rows: the child endpoint.
 
-        For each vertex the scalar path computes
-        ``searchsorted(cumsum(c[neighbors]), u·total, side="right")``;
-        here the ragged adjacency segments are flattened into one
-        comparison + one segmented reduction, with running sums taken
-        from the layer's gathered-cumulative matrix (``rows[i]`` is the
-        matrix slot of sample ``i``'s chosen key).  Exact integers, so
-        identical to the scalar cumsum.
+        Finds, per sample, the first position in the adjacency segment
+        ``[starts+1, ends+1)`` of its gathered row whose running sum
+        exceeds the integer threshold — ``O(n · log Δ)`` full-array
+        passes instead of the ``O(Σ deg)`` flattened sweep, with every
+        comparison exact in int64.  The clamp keeps the midpoint in
+        bounds for already-converged lanes; the final clamp mirrors the
+        scalar ``min(position, d - 1)`` guard.
         """
-        indptr = self.graph.indptr
-        starts = indptr[verts]
-        lengths = indptr[verts + 1] - starts
-        offsets = np.zeros(verts.size, dtype=np.int64)
-        np.cumsum(lengths[:-1], out=offsets[1:])
-        total = int(lengths.sum())
-        flat = (
-            np.arange(total, dtype=np.int64)
-            - np.repeat(offsets, lengths)
-            + np.repeat(starts, lengths)
-        )
-        running = (
-            gathered[np.repeat(rows, lengths), flat + 1]
-            - np.repeat(gathered[rows, starts], lengths)
-        )
-        below = (running <= np.repeat(targets, lengths)).astype(np.int64)
-        positions = np.add.reduceat(below, offsets)
-        positions = np.minimum(positions, lengths - 1)
-        self.instrumentation.count("batched_child_draws", verts.size)
+        lo = starts + 1
+        hi = ends + 1
+        limit = gathered.shape[1] - 1
+        active = lo < hi
+        while active.any():
+            mid = np.minimum((lo + hi) >> 1, limit)
+            below = gathered[slots, mid] <= thresholds
+            lo = np.where(active & below, mid + 1, lo)
+            hi = np.where(active & ~below, mid, hi)
+            active = lo < hi
+        positions = np.minimum(lo - starts - 1, ends - starts - 1)
         return self.graph.indices[starts + positions]
 
     # ------------------------------------------------------------------

@@ -47,7 +47,7 @@ import numpy as np
 from repro.errors import ArtifactError, BuildError, SamplingError
 from repro.colorcoding.buildup import build_table
 from repro.colorcoding.coloring import ColoringScheme
-from repro.colorcoding.urn import TreeletUrn
+from repro.colorcoding.urn import DEFAULT_DESCENT_CACHE_BYTES, TreeletUrn
 from repro.graph.graph import Graph
 from repro.graphlets.spanning import SigmaCache
 from repro.sampling.ags import AGSResult, ags_estimate
@@ -66,7 +66,7 @@ __all__ = ["MotivoConfig", "MotivoCounter"]
 _BUILD_FIELDS = (
     "k", "seed", "zero_rooting", "biased_lambda",
     "buffer_threshold", "buffer_size", "kernel", "batch_size",
-    "table_layout",
+    "table_layout", "descent_cache_bytes",
 )
 
 
@@ -108,6 +108,12 @@ class MotivoConfig:
         shrinking resident memory to O(stored pairs)).  Both layouts
         produce bit-identical estimates for a fixed seed, so the choice
         is purely a memory/speed trade.
+    descent_cache_bytes:
+        Budget (in bytes) for the urn's cached gathered-cumulative rows
+        — the per-key neighborhood prefix sums the fused descent kernel
+        gathers once and reuses across batches.  Rows past the budget
+        are rebuilt transiently per batch (correct, slower); the
+        fallback is counted in the instrumentation.
     artifact_dir:
         When set (and ``seed`` is fixed), :meth:`MotivoCounter.build`
         goes through a content-addressed
@@ -132,6 +138,7 @@ class MotivoConfig:
     kernel: str = "batched"
     batch_size: int = DEFAULT_BATCH_SIZE
     table_layout: str = "dense"
+    descent_cache_bytes: int = DEFAULT_DESCENT_CACHE_BYTES
     artifact_dir: Optional[str] = None
     artifact_codec: str = "dense"
 
@@ -253,8 +260,13 @@ class MotivoCounter:
             self.instrumentation.count("artifact_cache_admit_lost")
         return self.urn
 
-    def _finish_build(self, table) -> None:
+    def _finish_build(self, table, program=None) -> None:
         """Wrap a finished table in the sampling-phase machinery.
+
+        ``program`` is an optional precompiled
+        :class:`~repro.colorcoding.descent.DescentProgram` (from a
+        plan-carrying artifact) adopted by the urn so warm opens skip
+        plan compilation entirely.
 
         An urn with no colorful k-treelets is *not* an error at this
         level: the counter records ``empty_urn`` and later sampling
@@ -272,6 +284,8 @@ class MotivoCounter:
                 buffer_threshold=config.buffer_threshold,
                 buffer_size=config.buffer_size,
                 instrumentation=self.instrumentation,
+                program=program,
+                descent_cache_bytes=config.descent_cache_bytes,
             )
         except SamplingError:
             self.urn = None
@@ -304,10 +318,12 @@ class MotivoCounter:
         """Persist the built table as a reusable on-disk artifact.
 
         Records the build parameters, the coloring, per-layer blobs in
-        the chosen codec, the build instrumentation, and — crucially —
-        the *post-build state of the master RNG stream*, so a counter
-        restored with :meth:`from_artifact` samples bit-identically to
-        this one.  Returns the
+        the chosen codec, the build instrumentation, the compiled
+        descent program (so reopened counters sample without ever
+        recompiling the plan), and — crucially — the *post-build state
+        of the master RNG stream*, so a counter restored with
+        :meth:`from_artifact` samples bit-identically to this one.
+        Returns the
         :class:`~repro.artifacts.table_artifact.TableArtifact`.  An
         empty-urn build has nothing worth persisting and raises
         :class:`~repro.errors.SamplingError` (the ensemble engine
@@ -330,6 +346,7 @@ class MotivoCounter:
             rng_state=self._rng.bit_generator.state,
             instrumentation=self.instrumentation,
             source=source,
+            descent_program=urn.descent_program(),
         )
 
     @classmethod
@@ -429,7 +446,9 @@ class MotivoCounter:
                 artifact.manifest.get("instrumentation", {})
             )
         )
-        self._finish_build(artifact.table)
+        self._finish_build(
+            artifact.table, program=getattr(artifact, "descent_program", None)
+        )
         return self
 
     # ------------------------------------------------------------------

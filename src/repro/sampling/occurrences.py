@@ -17,14 +17,17 @@ Two paths share the machinery:
     The batched sampling engine's inner loop: all ``n × k(k-1)/2``
     candidate-edge queries run as one packed-edge-key ``searchsorted``
     (:meth:`repro.graph.graph.Graph.has_edges`), the queries pack into
-    one int64 bit pattern per sample, and canonicalization runs once per
-    *distinct* pattern (``np.unique``) through the same global memo —
-    so a batch costs one sweep plus one canonicalization per novel
-    graphlet, not per sample.
+    one int64 bit pattern per sample, and pattern → canonical-id
+    resolution goes through a **persistent sorted-array cache** that
+    lives across batches — after warm-up a batch costs one edge sweep
+    plus one ``searchsorted``, with zero per-batch canonicalization;
+    only genuinely novel patterns (a handful per graph, ever) fall
+    through to ``canonical_form``.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -48,8 +51,17 @@ class GraphletClassifier:
         self.cache_limit = cache_limit
         self._by_vertices: Dict[Tuple[int, ...], int] = {}
         self._canon_by_bits: Dict[int, int] = {}
+        # Persistent batch cache: distinct packed bit patterns seen so
+        # far and their canonical ids, as parallel sorted arrays — one
+        # searchsorted resolves a whole batch.
+        self._pattern_bits = np.zeros(0, dtype=np.int64)
+        self._pattern_canon = np.zeros(0, dtype=np.int64)
         self.classified = 0
         self.cache_hits = 0
+        #: Wall-clock seconds spent classifying batches (a plain float so
+        #: concurrent readers — the serve stats endpoint — never race a
+        #: dict mutation).
+        self.classify_seconds = 0.0
         # Upper-triangle pair count; bit of pair p in row-major triu order
         # is exactly p (pair_index is row-major), so packing is a dot
         # product with powers of two.  int64 packing needs p < 63.
@@ -100,6 +112,15 @@ class GraphletClassifier:
         int64 array.  Falls back to the per-row path for ``k > 11``,
         where the packed pattern no longer fits an int64.
         """
+        started = time.perf_counter()
+        try:
+            return self._classify_batch_inner(vertices_matrix)
+        finally:
+            self.classify_seconds += time.perf_counter() - started
+
+    def _classify_batch_inner(
+        self, vertices_matrix: np.ndarray
+    ) -> np.ndarray:
         verts = np.asarray(vertices_matrix, dtype=np.int64)
         if verts.ndim != 2 or verts.shape[1] != self.k:
             raise SamplingError(
@@ -125,12 +146,37 @@ class GraphletClassifier:
         rows, cols = self._triu
         present = self.graph.has_edges(verts[:, rows], verts[:, cols])
         patterns = present.astype(np.int64) @ self._pair_weights
-        unique_bits, inverse = np.unique(patterns, return_inverse=True)
-        canon = np.array(
-            [self._canonical_of(int(bits)) for bits in unique_bits],
-            dtype=np.int64,
-        )
-        return canon[inverse]
+        known = np.zeros(n, dtype=bool)
+        if self._pattern_bits.size:
+            pos = np.searchsorted(self._pattern_bits, patterns)
+            clipped = np.minimum(pos, self._pattern_bits.size - 1)
+            known = self._pattern_bits[clipped] == patterns
+        self.cache_hits += int(known.sum())
+        if not known.all():
+            novel = np.unique(patterns[~known])
+            fresh = np.array(
+                [self._canonical_of(int(bits)) for bits in novel],
+                dtype=np.int64,
+            )
+            bits = np.concatenate([self._pattern_bits, novel])
+            canon = np.concatenate([self._pattern_canon, fresh])
+            order = np.argsort(bits, kind="stable")
+            self._pattern_bits = bits[order]
+            self._pattern_canon = canon[order]
+        pos = np.searchsorted(self._pattern_bits, patterns)
+        return self._pattern_canon[pos]
+
+    def stats_snapshot(self) -> "dict[str, float]":
+        """Classifier counters in instrumentation-snapshot key style.
+
+        Built from scalar attribute reads only, so the serve layer can
+        call it from another thread without racing batch classification.
+        """
+        return {
+            "count.classified": float(self.classified),
+            "count.classify_cache_hits": float(self.cache_hits),
+            "time.sample_classify": float(self.classify_seconds),
+        }
 
     def _canonical_of(self, bits: int) -> int:
         """Canonical form with a per-classifier bit-pattern memo."""

@@ -77,7 +77,7 @@ from repro.sampling.ags import ags_estimate
 from repro.sampling.estimates import GraphletEstimates
 from repro.sampling.naive import naive_estimate
 from repro.sampling.occurrences import GraphletClassifier
-from repro.colorcoding.urn import TreeletUrn
+from repro.colorcoding.urn import DEFAULT_DESCENT_CACHE_BYTES, TreeletUrn
 from repro.util.instrument import Instrumentation
 from repro.util.rng import ensure_rng
 
@@ -435,6 +435,26 @@ class TableHandle:
         with self._stats_lock:
             return self.instrumentation.snapshot()
 
+    def sampling_stats(self) -> "dict[str, float]":
+        """Per-stage sampling-plane counters/timings of this handle.
+
+        The urn's instrumentation bag is only mutated under the draw
+        lock, so the snapshot briefly takes it too (with a short
+        timeout: a stats poll must never stall behind a long draw — it
+        then reports the classifier side only, which reads plain
+        scalars and is always safe).
+        """
+        stats: "dict[str, float]" = {}
+        urn = self.urn
+        if urn is not None and self._draw_lock.acquire(timeout=0.05):
+            try:
+                stats.update(urn.instrumentation.snapshot())
+            finally:
+                self._draw_lock.release()
+        for name, value in self.classifier.stats_snapshot().items():
+            stats[name] = stats.get(name, 0.0) + value
+        return stats
+
     def _empty(self, samples: int, method: str) -> GraphletEstimates:
         """The degenerate zero answer of an empty-urn table (no 500s)."""
         return GraphletEstimates.empty(self.k, samples, method)
@@ -579,12 +599,20 @@ class SamplingService:
 
             batch_size = DEFAULT_BATCH_SIZE
         try:
+            # A plan-carrying artifact hands its compiled descent
+            # program straight to the urn — a warm open never pays the
+            # plan compile again (the zero-recompilation contract).
             urn: Optional[TreeletUrn] = TreeletUrn(
                 graph,
                 artifact.table,
                 artifact.coloring,
                 buffer_threshold=int(build.get("buffer_threshold", 10_000)),
                 buffer_size=int(build.get("buffer_size", 100)),
+                program=artifact.descent_program,
+                descent_cache_bytes=int(
+                    build.get("descent_cache_bytes", 0)
+                    or DEFAULT_DESCENT_CACHE_BYTES
+                ),
             )
         except SamplingError:
             # An artifact holding an empty table (e.g. exported through
@@ -843,7 +871,35 @@ class SamplingService:
             merged.merge(
                 Instrumentation.from_snapshot(handle.stats_snapshot())
             )
+            merged.merge(
+                Instrumentation.from_snapshot(handle.sampling_stats())
+            )
         counters = merged.counters
+        timings = merged.timings
+        sampling = {
+            "plan_compiles": int(counters.get("descent_plan_compiles", 0)),
+            "gather_builds": int(
+                counters.get("gathered_cumulative_builds", 0)
+            ),
+            "transient_builds": int(
+                counters.get("gathered_transient_builds", 0)
+            ),
+            "budget_fallbacks": int(
+                counters.get("gathered_budget_fallbacks", 0)
+            ),
+            "classified": int(counters.get("classified", 0)),
+            "classify_cache_hits": int(
+                counters.get("classify_cache_hits", 0)
+            ),
+            "plan_compile_seconds": round(
+                timings.get("descent_plan_compile", 0.0), 6
+            ),
+            "gather_seconds": round(timings.get("sample_gather", 0.0), 6),
+            "descent_seconds": round(timings.get("sample_descent", 0.0), 6),
+            "classify_seconds": round(
+                timings.get("sample_classify", 0.0), 6
+            ),
+        }
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -855,6 +911,7 @@ class SamplingService:
                 counters.get("serve_coalesced_batches", 0)
             ),
             "coalesced_draws": int(counters.get("serve_coalesced_draws", 0)),
+            "sampling": sampling,
             "bytes_on_disk": self._bytes_on_disk_cached(),
         }
 

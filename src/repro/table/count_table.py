@@ -198,8 +198,26 @@ class LayerView(ABC):
         """Broadcast gather: counts at ``(rows[i], verts[j])`` — (R, V)."""
 
     @abstractmethod
+    def pairs_at(self, rows: np.ndarray, verts: np.ndarray) -> np.ndarray:
+        """Paired gather: counts at ``(rows[i], verts[i])``, elementwise.
+
+        ``rows`` and ``verts`` have the same (arbitrary) shape; the
+        result matches it, float64.  The fused descent kernel's split
+        weights are built from exactly these point lookups, so both
+        layouts must answer them without materializing dense rows.
+        """
+
+    @abstractmethod
     def value_at(self, row: int, v: int) -> float:
         """One count: ``c(keys[row], v)``."""
+
+    @abstractmethod
+    def max_value(self) -> float:
+        """The largest stored count (0.0 on an empty layer).
+
+        Bounds the gathered-cumulative running sums, which is how the
+        fused kernel picks the narrowest exact integer dtype for them.
+        """
 
     @abstractmethod
     def totals(self) -> np.ndarray:
@@ -297,8 +315,16 @@ class DenseLayer(LayerView):
         verts = np.asarray(verts, dtype=np.int64)
         return self.counts[rows[:, None], verts[None, :]]
 
+    def pairs_at(self, rows: np.ndarray, verts: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        verts = np.asarray(verts, dtype=np.int64)
+        return np.asarray(self.counts[rows, verts], dtype=np.float64)
+
     def value_at(self, row: int, v: int) -> float:
         return float(self.counts[row, v])
+
+    def max_value(self) -> float:
+        return float(self.counts.max()) if self.counts.size else 0.0
 
     def totals(self) -> np.ndarray:
         if self._totals is None:
@@ -551,12 +577,29 @@ class SuccinctLayer(LayerView):
             out[found] = self._values_f64(clipped[found])
         return out.reshape(queries.shape)
 
+    def pairs_at(self, rows: np.ndarray, verts: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        verts = np.asarray(verts, dtype=np.int64)
+        queries = verts * np.int64(self.num_keys) + rows
+        flat = queries.ravel()
+        out = np.zeros(flat.size, dtype=np.float64)
+        augmented = self._augmented()
+        if augmented.size:
+            pos = np.searchsorted(augmented, flat)
+            clipped = np.minimum(pos, augmented.size - 1)
+            found = (pos < augmented.size) & (augmented[clipped] == flat)
+            out[found] = self._values_f64(clipped[found])
+        return out.reshape(queries.shape)
+
     def value_at(self, row: int, v: int) -> float:
         start, end = int(self.indptr[v]), int(self.indptr[v + 1])
         i = start + int(np.searchsorted(self.key_row[start:end], row))
         if i < end and int(self.key_row[i]) == row:
             return float(self.values[i])
         return 0.0
+
+    def max_value(self) -> float:
+        return float(self.values.max()) if self.values.size else 0.0
 
     def totals(self) -> np.ndarray:
         if self._totals is None:

@@ -442,13 +442,24 @@ class TestArtifactCache:
         assert len(entries) == 2
         assert all(entry.k == 4 for entry in entries)
         # bytes_on_disk reports actual usage: payload blobs plus the
-        # manifests the old payload-sum accounting ignored.
+        # manifests the old payload-sum accounting ignored, plus the
+        # descent-plan blob (recorded in the manifest but excluded from
+        # payload_bytes so bits-per-pair keeps measuring count data).
         payload_total = sum(entry.payload_bytes for entry in entries)
         manifest_total = sum(
             os.path.getsize(os.path.join(entry.path, "manifest.json"))
             for entry in entries
         )
-        assert cache.bytes_on_disk() == payload_total + manifest_total
+        plan_total = sum(
+            json.load(open(os.path.join(entry.path, "manifest.json")))
+            .get("descent_plan", {})
+            .get("bytes", 0)
+            for entry in entries
+        )
+        assert (
+            cache.bytes_on_disk()
+            == payload_total + manifest_total + plan_total
+        )
         for entry in entries:
             cache.verify(entry.key)
         assert cache.evict(entries[0].key)
