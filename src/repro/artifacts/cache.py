@@ -142,26 +142,13 @@ class ArtifactCache:
     def _tmp_owner_alive(name: str) -> bool:
         """Whether the writer of a ``<key>.tmp-<pid>`` dir still runs.
 
-        Conservative: an unparseable suffix or a pid this user cannot
-        signal (``PermissionError``: the pid exists, owned by someone
-        else) counts as alive — only a provably dead owner makes the
-        directory stale.
+        Delegates to the shared :func:`repro.table.flush.tmp_owner_alive`
+        pid-liveness check, so the cache and the sharded build stores
+        agree on exactly when an in-flight write counts as abandoned.
         """
-        try:
-            pid = int(name.rsplit(".tmp-", 1)[1])
-        except (IndexError, ValueError):
-            return True
-        if pid == os.getpid():
-            return True
-        try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            return False
-        except PermissionError:
-            return True
-        except OSError:
-            return True
-        return True
+        from repro.table.flush import tmp_owner_alive
+
+        return tmp_owner_alive(name)
 
     def reap_stale_tmp(self) -> int:
         """Remove crash-leftover write dirs whose owning pid is dead.

@@ -45,6 +45,26 @@ from repro.sampling.naive import DEFAULT_BATCH_SIZE
 
 __all__ = ["main", "build_parser"]
 
+_BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a byte count with optional K/M/G suffix (e.g. ``256M``)."""
+    raw = text.strip().lower().removesuffix("b")
+    scale = 1
+    if raw and raw[-1] in _BYTE_SUFFIXES:
+        scale = _BYTE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a byte count (expected e.g. 800000, 64M, 2G)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("byte count must be positive")
+    return value
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing)."""
@@ -113,6 +133,20 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--top", type=int, default=20, help="rows to print")
     count.add_argument("--spill-dir", default=None, help="greedy-flush layers here")
     count.add_argument(
+        "--memory-budget", type=_parse_bytes, default=None,
+        help="hard byte budget for the build working set (suffixes K/M/G; "
+             "runs the out-of-core sharded build, bit-identical counts)",
+    )
+    count.add_argument(
+        "--shards", type=int, default=None,
+        help="explicit vertex-shard count for the sharded build "
+             "(default: planned from --memory-budget)",
+    )
+    count.add_argument(
+        "--shard-jobs", type=int, default=1,
+        help="worker processes for the sharded build's shard fan-out",
+    )
+    count.add_argument(
         "--noninduced", action="store_true",
         help="also derive non-induced copy counts (§1 conversion)",
     )
@@ -171,6 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--spill-dir", default=None,
         help="greedy-flush layers here during the build",
+    )
+    build.add_argument(
+        "--memory-budget", type=_parse_bytes, default=None,
+        help="hard byte budget for the build working set (suffixes K/M/G; "
+             "runs the out-of-core sharded build, bit-identical tables)",
+    )
+    build.add_argument(
+        "--shards", type=int, default=None,
+        help="explicit vertex-shard count for the sharded build "
+             "(default: planned from --memory-budget)",
+    )
+    build.add_argument(
+        "--shard-jobs", type=int, default=1,
+        help="worker processes for the sharded build's shard fan-out",
     )
     build.add_argument(
         "--descent-cache-bytes", type=int,
@@ -369,6 +417,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         table_layout=args.table_layout,
         descent_cache_bytes=args.descent_cache_bytes,
+        memory_budget=args.memory_budget,
+        num_shards=args.shards,
+        shard_jobs=args.shard_jobs,
     )
     if args.colorings > 1:
         estimates = _run_ensemble(graph, config, args)
@@ -387,6 +438,13 @@ def _run_single(graph, config, args):
         f"build-up: n={graph.num_vertices} m={graph.num_edges} k={args.k} "
         f"kernel={config.kernel} in {build_seconds:.2f}s"
     )
+    if counter.build_budget is not None:
+        budget = counter.build_budget
+        ceiling = f"/{budget.limit}" if budget.limit is not None else ""
+        print(
+            f"sharded build: {counter.store.num_shards} shards, tracked "
+            f"peak {budget.peak}{ceiling} bytes"
+        )
     start = time.perf_counter()
     if args.ags:
         result = counter.sample_ags(args.samples, args.cover_threshold)
@@ -402,6 +460,10 @@ def _run_single(graph, config, args):
             f"naive sampling: {args.samples} samples in "
             f"{time.perf_counter() - start:.2f}s"
         )
+    if counter.build_budget is not None:
+        # One-shot run: drop the sharded build's scratch directory (it
+        # defaults to a fresh tempdir the counter owns).
+        counter.close()
     return estimates
 
 
@@ -439,6 +501,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         table_layout=args.table_layout,
         descent_cache_bytes=args.descent_cache_bytes,
+        memory_budget=args.memory_budget,
+        num_shards=args.shards,
+        shard_jobs=args.shard_jobs,
     )
     start = time.perf_counter()
     if args.colorings > 1:

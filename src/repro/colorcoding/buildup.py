@@ -66,6 +66,7 @@ from repro.colorcoding.coloring import ColoringScheme
 from repro.colorcoding.plans import (
     CompiledLevel,
     compile_plans,
+    frontier_last_use,
     level_plans,
 )
 from repro.graph.graph import Graph
@@ -212,14 +213,9 @@ class _FrontierSealer:
         instrumentation: Instrumentation,
     ):
         self.active = layout == "succinct" and store.resident
-        self.last_use: Dict[int, int] = {}
-        if self.active:
-            for h, plan in level_plans(registry).items():
-                for group in plan.groups:
-                    for size in (group.h_prime, group.h_second):
-                        self.last_use[size] = max(
-                            self.last_use.get(size, 0), h
-                        )
+        self.last_use: Dict[int, int] = (
+            frontier_last_use(registry) if self.active else {}
+        )
         self.instrumentation = instrumentation
 
     def after_level(

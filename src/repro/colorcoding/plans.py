@@ -58,6 +58,8 @@ __all__ = [
     "level_plans",
     "compile_plans",
     "full_universe_keys",
+    "frontier_last_use",
+    "level_source_sizes",
 ]
 
 Key = Tuple[int, int]
@@ -352,3 +354,30 @@ def level_plans(registry: TreeletRegistry) -> Dict[int, LevelPlan]:
 def compile_plans(registry: TreeletRegistry) -> Dict[int, CompiledLevel]:
     """Full-universe compiled plans for every level, cached per registry."""
     return _cached(registry)[1]
+
+
+def frontier_last_use(registry: TreeletRegistry) -> Dict[int, int]:
+    """Last level whose combination plans consume each layer size.
+
+    ``frontier_last_use(r)[s]`` is the highest level ``h`` with a group
+    whose prime or second factor has size ``s`` — after level ``h``
+    finishes, the size-``s`` layer has retired from the build frontier
+    and can be sealed or evicted.  The size-``k`` layer is never a
+    source, so it does not appear; it retires the moment it installs.
+    Shared by the in-memory frontier sealer and the sharded scheduler
+    (which drops per-shard scratch the moment a layer retires).
+    """
+    last_use: Dict[int, int] = {}
+    for h, plan in level_plans(registry).items():
+        for group in plan.groups:
+            for size in (group.h_prime, group.h_second):
+                last_use[size] = max(last_use.get(size, 0), h)
+    return last_use
+
+
+def level_source_sizes(registry: TreeletRegistry, h: int) -> List[int]:
+    """Ascending layer sizes level ``h``'s combination plans read."""
+    plan = level_plans(registry)[h]
+    return sorted(
+        {g.h_prime for g in plan.groups} | {g.h_second for g in plan.groups}
+    )

@@ -52,7 +52,71 @@ from repro.sampling.estimates import GraphletEstimates
 from repro.util.instrument import Instrumentation
 from repro.util.rng import spawn_rng
 
-__all__ = ["PipelineEngine", "EnsembleResult", "derive_child_seeds"]
+__all__ = [
+    "PipelineEngine",
+    "EnsembleResult",
+    "derive_child_seeds",
+    "execute_tasks",
+]
+
+
+def execute_tasks(
+    tasks,
+    pooled_fn,
+    serial_fn,
+    jobs: int,
+    initializer=None,
+    initargs: tuple = (),
+) -> list:
+    """Run ``tasks`` on a process pool, degrading to serial execution.
+
+    The engine's executor policy, factored out so other fan-out points
+    (the sharded build-up) inherit identical semantics: ``jobs=1`` or a
+    single task runs ``serial_fn`` in-process; otherwise a
+    ``ProcessPoolExecutor`` (shipping shared state once via
+    ``initializer``/``initargs``) maps ``pooled_fn`` over the tasks, and
+    any platform that cannot spawn workers — pool construction or lazy
+    spawn failing with ``OSError``/``PermissionError``/
+    ``BrokenProcessPool`` — falls back to the serial path rather than
+    crashing.  Results are returned in task order either way, so callers'
+    determinism never depends on worker scheduling.
+    """
+
+    def serially():
+        return [serial_fn(task) for task in tasks]
+
+    if not tasks:
+        return []
+    if jobs == 1 or len(tasks) == 1:
+        return serially()
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return serially()
+    workers = min(jobs, len(tasks))
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+    except (OSError, PermissionError):
+        # The platform refuses to create worker processes at all.
+        return serially()
+    try:
+        with pool:
+            return list(pool.map(pooled_fn, tasks))
+    except (BrokenProcessPool, OSError, PermissionError):
+        # Worker processes spawn lazily inside map, so spawn failure
+        # on a restricted platform surfaces here — as
+        # BrokenProcessPool or as the raw OSError from fork/spawn.
+        # Those types can also be a *worker's* genuine error
+        # re-raised (e.g. an unwritable spill dir); the serial rerun
+        # then reproduces it with a clean traceback, trading
+        # duplicated work for never crashing on a platform that
+        # simply cannot fork.  Other exception types propagate.
+        return serially()
 
 
 def derive_child_seeds(seed: Optional[int], colorings: int) -> List[int]:
@@ -450,41 +514,11 @@ class PipelineEngine:
         )
 
     def _execute(self, tasks: "list[_RunSpec]") -> "list":
-        def serially():
-            return [
-                _execute_run(self.graph, self.config, task)
-                for task in tasks
-            ]
-
-        if not tasks:
-            return []
-        if self.jobs == 1 or len(tasks) == 1:
-            return serially()
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            from concurrent.futures.process import BrokenProcessPool
-        except ImportError:  # pragma: no cover - stdlib always has it
-            return serially()
-        workers = min(self.jobs, len(tasks))
-        try:
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(self.graph, self.config),
-            )
-        except (OSError, PermissionError):
-            # The platform refuses to create worker processes at all.
-            return serially()
-        try:
-            with pool:
-                return list(pool.map(_run_task, tasks))
-        except (BrokenProcessPool, OSError, PermissionError):
-            # Worker processes spawn lazily inside map, so spawn failure
-            # on a restricted platform surfaces here — as
-            # BrokenProcessPool or as the raw OSError from fork/spawn.
-            # Those types can also be a *worker's* genuine error
-            # re-raised (e.g. an unwritable spill dir); the serial rerun
-            # then reproduces it with a clean traceback, trading
-            # duplicated work for never crashing on a platform that
-            # simply cannot fork.  Other exception types propagate.
-            return serially()
+        return execute_tasks(
+            tasks,
+            _run_task,
+            lambda task: _execute_run(self.graph, self.config, task),
+            self.jobs,
+            initializer=_init_worker,
+            initargs=(self.graph, self.config),
+        )

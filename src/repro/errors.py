@@ -51,6 +51,19 @@ class BuildError(ReproError):
     """Raised when the build-up phase is invoked with inconsistent options."""
 
 
+class MemoryBudgetError(BuildError):
+    """Raised when a build cannot run inside its declared memory budget.
+
+    Covers both planning-time violations (no shard width small enough to
+    fit the working set under the budget) and run-time ones (an actual
+    tracked allocation — a shard's output block, a halo gather — would
+    push the working set past the limit).  Budget violations must fail
+    loud rather than silently overshoot: callers that set
+    ``memory_budget`` are promising the box only has that much to give.
+    Subclasses :class:`BuildError` because a budget is a build option.
+    """
+
+
 class SamplingError(ReproError):
     """Raised when the sampling phase cannot proceed (empty urn...)."""
 

@@ -18,10 +18,18 @@ from repro.graph.io import (
     save_binary,
     save_edge_list,
 )
+from repro.graph.stream import (
+    build_csr_external,
+    load_edge_list_external,
+    open_external,
+)
 from repro.graph.datasets import dataset_names, load_dataset
 
 __all__ = [
     "Graph",
+    "build_csr_external",
+    "load_edge_list_external",
+    "open_external",
     "load_edge_list",
     "load_binary",
     "load_graph",

@@ -125,6 +125,31 @@ class MotivoConfig:
         Count-blob codec for artifacts written through the cache:
         ``"dense"`` (memmap reopen, the default) or ``"succinct"``
         (delta/varint, smallest on disk).
+    memory_budget:
+        Hard byte budget for the build-up working set.  Setting it (or
+        ``num_shards``) routes the build through the out-of-core sharded
+        kernel (:func:`repro.colorcoding.sharded.build_table_sharded`):
+        each level runs vertex-shard by vertex-shard, finished blocks go
+        straight to disk, and any allocation that would overshoot the
+        budget raises :class:`~repro.errors.MemoryBudgetError` instead
+        of silently growing.  The table is bit-identical to the
+        in-memory build.  Requires ``kernel="batched"``; incompatible
+        with ``spill_dir`` (the sharded store subsumes spilling).
+    num_shards:
+        Explicit shard count for the sharded build.  Defaults to the
+        smallest count whose modeled working set fits ``memory_budget``
+        (:func:`repro.colorcoding.sharded.plan_shards`); with no budget,
+        the count is taken as-is and only peak tracking applies.
+    shard_dir:
+        Directory for the sharded build's on-disk blocks.  Defaults to a
+        fresh temporary directory owned (and removed) by the counter;
+        point it somewhere durable to keep the blocks around.  The
+        finished dense layers are memory-mapped from here, so the
+        counter must stay open while sampling.
+    shard_jobs:
+        Worker processes for the sharded build's per-level shard fan-out
+        (results fold in shard order, so parallel builds stay
+        byte-identical).
     """
 
     k: int = 5
@@ -141,6 +166,10 @@ class MotivoConfig:
     descent_cache_bytes: int = DEFAULT_DESCENT_CACHE_BYTES
     artifact_dir: Optional[str] = None
     artifact_codec: str = "dense"
+    memory_budget: Optional[int] = None
+    num_shards: Optional[int] = None
+    shard_dir: Optional[str] = None
+    shard_jobs: int = 1
 
     def build_params(self) -> dict:
         """The table-relevant fields, as recorded in artifact manifests."""
@@ -163,6 +192,8 @@ class MotivoCounter:
         self.urn: Optional[TreeletUrn] = None
         self.classifier: Optional[GraphletClassifier] = None
         self.store: Optional[LayerStore] = None
+        #: MemoryBudget tracker of the last sharded build (peak bytes).
+        self.build_budget = None
         #: True once build() finished with an urn that holds no colorful
         #: k-treelets (unlucky coloring, or no connected k-subgraph at
         #: all).  Sampling then returns zero estimates flagged
@@ -206,22 +237,78 @@ class MotivoCounter:
             self.coloring = ColoringScheme.biased(
                 n, config.k, config.biased_lambda, self._rng
             )
-        if config.spill_dir:
-            self.store = SpillLayerStore(SpillStore(config.spill_dir))
+        if config.memory_budget is not None or config.num_shards is not None:
+            table = self._build_sharded()
         else:
-            self.store = InMemoryStore()
-        table = build_table(
+            if config.spill_dir:
+                self.store = SpillLayerStore(SpillStore(config.spill_dir))
+            else:
+                self.store = InMemoryStore()
+            table = build_table(
+                self.graph,
+                self.coloring,
+                registry=self.registry,
+                zero_rooting=config.zero_rooting,
+                store=self.store,
+                instrumentation=self.instrumentation,
+                kernel=config.kernel,
+                layout=config.table_layout,
+            )
+        self._finish_build(table)
+        return self.urn
+
+    def _build_sharded(self):
+        """Run the out-of-core sharded build (see ``memory_budget``)."""
+        import tempfile
+
+        from repro.colorcoding.sharded import (
+            MemoryBudget,
+            build_table_sharded,
+            plan_shards,
+        )
+        from repro.table.layer_store import ShardedStore
+
+        config = self.config
+        if config.kernel != "batched":
+            raise BuildError(
+                "the sharded build is an arrangement of the batched "
+                f"kernel; kernel={config.kernel!r} cannot run sharded"
+            )
+        if config.spill_dir:
+            raise BuildError(
+                "memory_budget/num_shards and spill_dir are mutually "
+                "exclusive — the sharded store already keeps the build "
+                "on disk"
+            )
+        if config.num_shards is not None:
+            if config.num_shards < 1:
+                raise BuildError("num_shards must be at least 1")
+            num_shards = config.num_shards
+        else:
+            num_shards = plan_shards(
+                self.graph, self.registry, config.memory_budget
+            )
+        if config.shard_dir is None:
+            # mkdtemp pre-creates the directory, so auto-detection would
+            # treat it as borrowed; the counter owns it.
+            directory = tempfile.mkdtemp(prefix="motivo-shards-")
+            store = ShardedStore(num_shards, directory, owns_directory=True)
+        else:
+            store = ShardedStore(num_shards, config.shard_dir)
+        self.store = store
+        self.build_budget = MemoryBudget(config.memory_budget)
+        return build_table_sharded(
             self.graph,
             self.coloring,
             registry=self.registry,
             zero_rooting=config.zero_rooting,
-            store=self.store,
+            store=store,
             instrumentation=self.instrumentation,
-            kernel=config.kernel,
             layout=config.table_layout,
+            memory_budget=self.build_budget,
+            jobs=config.shard_jobs,
+            seed=config.seed,
         )
-        self._finish_build(table)
-        return self.urn
 
     def _build_cached(self) -> Optional[TreeletUrn]:
         """Build through the content-addressed artifact cache."""

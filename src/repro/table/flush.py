@@ -36,9 +36,67 @@ import numpy as np
 from repro.errors import TableError
 from repro.table.count_table import LAYOUTS, Layer, LayerView, SuccinctLayer
 
-__all__ = ["SpillStore", "remove_scratch"]
+__all__ = [
+    "SpillStore",
+    "remove_scratch",
+    "tmp_owner_alive",
+    "reap_stale_tmp",
+]
 
 Key = Tuple[int, int]
+
+
+def tmp_owner_alive(name: str) -> bool:
+    """Whether the writer of a ``<path>.tmp-<pid>`` entry still runs.
+
+    The ``.tmp-<pid>`` convention marks in-flight scratch writes (shard
+    blobs mid-seal, artifact-cache admissions); once the owning pid is
+    gone such entries can only be leftovers of a crashed writer.
+    Conservative: an unparseable suffix or a pid this user cannot signal
+    (``PermissionError``: the pid exists, owned by someone else) counts
+    as alive — only a provably dead owner makes the entry stale.
+    """
+    try:
+        pid = int(name.rsplit(".tmp-", 1)[1])
+    except (IndexError, ValueError):
+        return True
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def reap_stale_tmp(directory: str) -> int:
+    """Remove crash-leftover ``.tmp-<pid>`` entries with dead owners.
+
+    Shared by every subsystem that writes through the ``.tmp-<pid>``
+    convention (sharded layer blobs, the artifact cache): files and
+    directories alike are removed once their writer pid is provably
+    dead; live writers and same-pid entries are never touched.  Returns
+    how many entries are actually gone.
+    """
+    reaped = 0
+    if not os.path.isdir(directory):
+        return reaped
+    for name in os.listdir(directory):
+        if ".tmp-" not in name or tmp_owner_alive(name):
+            continue
+        path = os.path.join(directory, name)
+        if os.path.isdir(path):
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        if not os.path.exists(path):
+            reaped += 1
+    return reaped
 
 
 def remove_scratch(directory, owns_directory: bool, paths) -> None:

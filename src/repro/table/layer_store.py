@@ -32,14 +32,15 @@ process as a reusable, versioned on-disk artifact.
 from __future__ import annotations
 
 import os
+import re
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import TableError
-from repro.table.count_table import CountTable, Layer
-from repro.table.flush import SpillStore, remove_scratch
+from repro.table.count_table import CountTable, Layer, SuccinctLayer, csr_offsets
+from repro.table.flush import SpillStore, remove_scratch, reap_stale_tmp
 from repro.util.instrument import Instrumentation
 
 __all__ = [
@@ -48,9 +49,47 @@ __all__ = [
     "SpillLayerStore",
     "ShardedStore",
     "resolve_store",
+    "read_npy_rows",
 ]
 
 Key = Tuple[int, int]
+
+#: Every file name a :class:`ShardedStore` may create in its directory —
+#: committed shard blocks, shared key files, assembled full-width layers —
+#: with or without an in-flight ``.tmp-<pid>`` suffix.  ``close`` sweeps by
+#: this pattern rather than by the layers it happens to have registered, so
+#: scratch written by crashed shard workers is removed too.
+_SHARD_SCRATCH_RE = re.compile(
+    r"^layer_\d+\.(keys|shard\d+|full)\.npy(\.tmp-\d+)?$"
+)
+
+
+def read_npy_rows(path: str, row_lo: int, row_hi: int) -> np.ndarray:
+    """Read rows ``[row_lo, row_hi)`` of a 2-D C-order ``.npy`` file.
+
+    Buffered (``seek`` + ``fromfile``) rather than memory-mapped on
+    purpose: mapped pages count toward resident set size until the kernel
+    reclaims them, so the budgeted sharded build reads exactly the rows it
+    is charged for and nothing sticks to RSS afterwards.
+    """
+    with open(path, "rb") as handle:
+        version = np.lib.format.read_magic(handle)
+        read_header = (
+            np.lib.format.read_array_header_1_0
+            if version == (1, 0)
+            else np.lib.format.read_array_header_2_0
+        )
+        shape, fortran, dtype = read_header(handle)
+        if len(shape) != 2 or fortran:
+            raise TableError(f"{path} is not a C-order 2-D array")
+        rows, cols = shape
+        row_lo = max(0, min(int(row_lo), rows))
+        row_hi = max(row_lo, min(int(row_hi), rows))
+        handle.seek(row_lo * cols * dtype.itemsize, os.SEEK_CUR)
+        block = np.fromfile(
+            handle, dtype=dtype, count=(row_hi - row_lo) * cols
+        )
+    return block.reshape(row_hi - row_lo, cols)
 
 
 class LayerStore(ABC):
@@ -205,13 +244,23 @@ class ShardedStore(LayerStore):
         :meth:`load_shard`.  When omitted the shards exist only as views.
     """
 
-    def __init__(self, num_shards: int, directory: Optional[str] = None):
+    def __init__(
+        self,
+        num_shards: int,
+        directory: Optional[str] = None,
+        owns_directory: Optional[bool] = None,
+    ):
         if num_shards < 1:
             raise TableError("a sharded store needs at least one shard")
         self.num_shards = num_shards
         self.directory = directory
+        # ``owns_directory`` overrides the existence heuristic for callers
+        # that pre-create the directory themselves (``tempfile.mkdtemp``)
+        # yet still want ``close`` to remove it outright.
         self._owns_directory = (
-            directory is not None and not os.path.isdir(directory)
+            (directory is not None and not os.path.isdir(directory))
+            if owns_directory is None
+            else (directory is not None and owns_directory)
         )
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
@@ -278,6 +327,153 @@ class ShardedStore(LayerStore):
         )
         return keys, (int(bounds[shard]), int(bounds[shard + 1])), counts
 
+    # ------------------------------------------------------------------
+    # Out-of-core build API
+    #
+    # The sharded build (:func:`repro.colorcoding.sharded.build_table_sharded`)
+    # uses shards as the unit of *work*: each level's count block is written
+    # one shard at a time through a crash-safe tmp → commit rename, rows are
+    # compacted to the kept keys afterwards, and the finished layer is
+    # assembled straight from the committed shard files without ever holding
+    # the full matrix in memory.
+    # ------------------------------------------------------------------
+
+    def shard_tmp_path(self, size: int, shard: int) -> str:
+        """In-flight write path for one shard: ``<shard>.npy.tmp-<pid>``.
+
+        Follows the shared ``.tmp-<pid>`` convention (see
+        :mod:`repro.table.flush`): a crashed writer's leftovers are
+        identifiable by their dead pid and reaped by
+        :meth:`reap_stale_tmp` or swept by :meth:`close`.
+        """
+        return f"{self._shard_path(size, shard)}.tmp-{os.getpid()}"
+
+    def commit_shard(self, size: int, shard: int, tmp_path: str) -> str:
+        """Atomically publish a fully-written shard block."""
+        final = self._shard_path(size, shard)
+        os.replace(tmp_path, final)
+        return final
+
+    def register_layer(
+        self, size: int, keys: Sequence[Key], bounds: np.ndarray
+    ) -> None:
+        """Record a layer whose shard files were committed externally.
+
+        Persists the shared key file (workers reopen source-layer keys
+        from disk) and makes the layer visible to :meth:`load_shard` /
+        :meth:`sizes` without routing its counts through :meth:`install`.
+        """
+        if self.directory is not None:
+            key_array = np.asarray(
+                [[t, mask] for t, mask in keys], dtype=np.int64
+            ).reshape(len(keys), 2)
+            np.save(self._key_path(size), key_array)
+        self._layers[size] = (list(keys), np.asarray(bounds, dtype=np.int64))
+
+    def layer_keys(self, size: int) -> List[Key]:
+        """Keys of a registered layer, in on-disk row order."""
+        if size not in self._layers:
+            raise TableError(f"no sharded layer of size {size}")
+        return list(self._layers[size][0])
+
+    def compact_layer(
+        self, size: int, keep_order: np.ndarray, keys: Sequence[Key]
+    ) -> None:
+        """Rewrite every shard of ``size`` down to the kept rows.
+
+        ``keep_order`` indexes rows of the committed shard blocks in the
+        order they should appear — the caller passes the kept rows
+        key-ascending, so the compacted blocks are key-sorted on disk and
+        reopening them never copies.  Each shard is rewritten through a
+        tmp → rename, and the shared key file is replaced to match.
+        """
+        if self.directory is None:
+            raise TableError("sharded store has no directory to compact")
+        keep_order = np.asarray(keep_order, dtype=np.int64)
+        for shard in range(self.num_shards):
+            block = np.load(self._shard_path(size, shard))
+            tmp = self.shard_tmp_path(size, shard)
+            # Write through a handle: ``np.save`` would append ``.npy``
+            # to the suffix-less tmp path.
+            with open(tmp, "wb") as handle:
+                np.lib.format.write_array(
+                    handle, np.ascontiguousarray(block[keep_order])
+                )
+            del block
+            self.commit_shard(size, shard, tmp)
+        keys, bounds = list(keys), self._layers[size][1]
+        self.register_layer(size, keys, bounds)
+
+    def assemble_dense(self, size: int, row_block: int = 256) -> str:
+        """Concatenate the shard blocks into one full-width ``.npy``.
+
+        Streams ``row_block`` rows at a time — read buffered from each
+        shard file, written buffered to ``layer_<size>.full.npy`` — so
+        peak memory is one row block, never the full matrix.  Returns the
+        assembled path; callers reopen it memory-mapped so the finished
+        table pages lazily like any spilled layer.
+        """
+        if self.directory is None:
+            raise TableError("sharded store has no directory to assemble")
+        keys, bounds = self._layers[size]
+        num_keys = len(keys)
+        n = int(bounds[-1])
+        out_path = self._full_path(size)
+        tmp = f"{out_path}.tmp-{os.getpid()}"
+        header = np.lib.format.header_data_from_array_1_0(
+            np.empty((0, 0), dtype=np.float64)
+        )
+        header["shape"] = (num_keys, n)
+        row_block = max(1, int(row_block))
+        with open(tmp, "wb") as handle:
+            np.lib.format.write_array_header_1_0(handle, header)
+            for lo in range(0, num_keys, row_block):
+                hi = min(num_keys, lo + row_block)
+                pieces = [
+                    read_npy_rows(self._shard_path(size, s), lo, hi)
+                    for s in range(self.num_shards)
+                ]
+                handle.write(
+                    np.ascontiguousarray(np.hstack(pieces)).tobytes()
+                )
+        os.replace(tmp, out_path)
+        return out_path
+
+    def assemble_succinct(self, size: int) -> SuccinctLayer:
+        """Build the succinct CSR layer straight from the shard blocks.
+
+        ``SuccinctLayer.from_dense`` orders records vertex-major
+        (``np.nonzero(counts.T)``); the per-shard pieces cover ascending
+        disjoint vertex ranges, so concatenating each shard's
+        ``nonzero(block.T)`` yields exactly that order without ever
+        materializing the dense matrix.  Peak memory is one shard block
+        plus the O(pairs) output arrays.
+        """
+        if self.directory is None:
+            raise TableError("sharded store has no directory to assemble")
+        keys, bounds = self._layers[size]
+        vert_pieces: List[np.ndarray] = []
+        row_pieces: List[np.ndarray] = []
+        value_pieces: List[np.ndarray] = []
+        for shard in range(self.num_shards):
+            block = np.load(self._shard_path(size, shard))
+            verts_local, rows = np.nonzero(block.T)
+            vert_pieces.append(verts_local + int(bounds[shard]))
+            row_pieces.append(rows)
+            value_pieces.append(block[rows, verts_local])
+            del block
+        verts = np.concatenate(vert_pieces) if vert_pieces else np.array([], dtype=np.int64)
+        rows = np.concatenate(row_pieces) if row_pieces else np.array([], dtype=np.int64)
+        values = np.concatenate(value_pieces) if value_pieces else np.array([], dtype=np.float64)
+        indptr = csr_offsets(verts, int(bounds[-1]))
+        return SuccinctLayer(size, list(keys), indptr, rows, values)
+
+    def reap_stale_tmp(self) -> int:
+        """Remove crash-leftover ``.tmp-<pid>`` shard writes (dead pids)."""
+        if self.directory is None:
+            return 0
+        return reap_stale_tmp(self.directory)
+
     def bytes_on_disk(self) -> int:
         if self.directory is None:
             return 0
@@ -289,21 +485,24 @@ class ShardedStore(LayerStore):
     def close(self) -> None:
         """Remove persisted shard files; see :meth:`LayerStore.close`.
 
-        Deletes the shard directory when this store created it, or just
-        the per-layer shard/key files inside a pre-existing directory.
+        Deletes the shard directory when this store created it.  In a
+        pre-existing directory the sweep is by *pattern*, not by the
+        layers this instance registered: committed shard blocks, key
+        files, assembled full-width layers, and in-flight ``.tmp-<pid>``
+        writes are all removed, including scratch left by shard workers
+        or a crashed predecessor — foreign files are never touched.
         The resident layers (plain arrays) stay usable.  Idempotent.
         """
         if self._closed:
             return
         self._closed = True
         paths = []
-        if self.directory is not None:
-            for size in self.sizes():
-                paths.append(self._key_path(size))
-                paths += [
-                    self._shard_path(size, i)
-                    for i in range(self.num_shards)
-                ]
+        if self.directory is not None and os.path.isdir(self.directory):
+            paths = [
+                os.path.join(self.directory, name)
+                for name in os.listdir(self.directory)
+                if _SHARD_SCRATCH_RE.match(name)
+            ]
         remove_scratch(self.directory, self._owns_directory, paths)
 
     def _key_path(self, size: int) -> str:
@@ -313,6 +512,10 @@ class ShardedStore(LayerStore):
     def _shard_path(self, size: int, shard: int) -> str:
         assert self.directory is not None
         return os.path.join(self.directory, f"layer_{size}.shard{shard}.npy")
+
+    def _full_path(self, size: int) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"layer_{size}.full.npy")
 
 
 def resolve_store(

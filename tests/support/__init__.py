@@ -1,0 +1,1 @@
+"""Shared test/bench support helpers (importable as ``support.*``)."""

@@ -1,0 +1,93 @@
+"""The deterministic power-law synthesizer behind the scale tests."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.graph import load_edge_list, load_edge_list_external
+
+from support.graphgen import (
+    powerlaw_edges,
+    powerlaw_weights,
+    synthesize_snap_file,
+    write_snap_edge_list,
+)
+
+
+class TestPowerlawWeights:
+    def test_monotone_decreasing_hub_first(self):
+        weights = powerlaw_weights(100, exponent=2.2)
+        assert weights.shape == (100,)
+        assert np.all(np.diff(weights) < 0)
+        assert weights[0] == 1.0
+
+    def test_heavier_tail_for_lower_exponent(self):
+        flat = powerlaw_weights(1000, exponent=3.0)
+        skewed = powerlaw_weights(1000, exponent=1.8)
+        # The skewed sequence concentrates more mass on the hub.
+        assert skewed[0] / skewed.sum() > flat[0] / flat.sum()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            powerlaw_weights(0)
+        with pytest.raises(ValueError):
+            powerlaw_weights(10, exponent=1.0)
+
+
+class TestPowerlawEdges:
+    def test_exact_edge_count_simple_canonical(self):
+        edges = powerlaw_edges(200, 900, seed=4)
+        assert edges.shape == (900, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        packed = edges[:, 0] * 200 + edges[:, 1]
+        assert np.unique(packed).size == 900
+        assert np.all(np.diff(packed) > 0)
+
+    def test_deterministic_in_seed(self):
+        a = powerlaw_edges(300, 1500, seed=9)
+        b = powerlaw_edges(300, 1500, seed=9)
+        c = powerlaw_edges(300, 1500, seed=10)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_degree_sequence_is_skewed(self):
+        edges = powerlaw_edges(2000, 10_000, exponent=2.0, seed=1)
+        degrees = np.bincount(edges.ravel(), minlength=2000)
+        # The hub (vertex 0) dwarfs the median vertex.
+        assert degrees[0] > 20 * max(1, int(np.median(degrees)))
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            powerlaw_edges(4, 7)
+
+
+class TestSnapFiles:
+    def test_round_trip_both_loaders_agree(self, tmp_path):
+        target = tmp_path / "g.txt"
+        synthesize_snap_file(target, n=400, m=1800, seed=3)
+        in_memory = load_edge_list(target)
+        external = load_edge_list_external(
+            target, tmp_path / "csr", chunk_edges=257
+        )
+        assert in_memory.num_vertices == 400
+        assert in_memory.num_edges == 1800
+        assert external.fingerprint() == in_memory.fingerprint()
+
+    def test_byte_identical_across_runs(self, tmp_path):
+        digests = []
+        for run in ("a", "b"):
+            target = tmp_path / f"{run}.txt"
+            synthesize_snap_file(target, n=150, m=600, seed=21)
+            digests.append(hashlib.sha256(target.read_bytes()).hexdigest())
+        assert digests[0] == digests[1]
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        target = tmp_path / "iso.txt"
+        edges = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        write_snap_edge_list(target, edges, n=10)
+        graph = load_edge_list(target)
+        assert graph.num_vertices == 10
+        assert graph.degree(9) == 0
