@@ -51,11 +51,26 @@ class CacheEntry:
 
 
 class ArtifactCache:
-    """Directory of table artifacts addressed by build-content key."""
+    """Directory of table artifacts addressed by build-content key.
 
-    def __init__(self, root: str):
+    Pass a :class:`~repro.telemetry.MetricsRegistry` to have cache
+    traffic land in the telemetry plane: ``artifact_cache_lookup_hits``
+    / ``artifact_cache_lookup_misses`` / ``artifact_cache_evictions`` /
+    ``artifact_cache_verifies`` counters and the
+    ``artifact_cache_bytes`` bytes-on-disk gauge (refreshed by
+    :meth:`bytes_on_disk`).  The names deliberately differ from
+    ``MotivoCounter``'s ``artifact_cache_hits``/``_misses`` build
+    counters so sharing one registry never double-counts.
+    """
+
+    def __init__(self, root: str, registry=None):
         self.root = root
+        self.registry = registry
         os.makedirs(root, exist_ok=True)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.inc(name, amount)
 
     # ------------------------------------------------------------------
     # Addressing
@@ -111,7 +126,9 @@ class ArtifactCache:
         try:
             load_manifest(slot)
         except ArtifactError:
+            self._count("artifact_cache_lookup_misses")
             return None
+        self._count("artifact_cache_lookup_hits")
         return slot
 
     def admit(self, tmp_directory: str, key: str) -> str:
@@ -228,6 +245,7 @@ class ArtifactCache:
         except (FileNotFoundError, NotADirectoryError):
             # Concurrent evictors race benignly: losing means it's gone.
             return False
+        self._count("artifact_cache_evictions")
         return True
 
     def clear(self) -> int:
@@ -250,6 +268,7 @@ class ArtifactCache:
         """
         slot = self.path(key)
         TableArtifact(slot, load_manifest(slot)).verify()
+        self._count("artifact_cache_verifies")
 
     def bytes_on_disk(self) -> int:
         """Actual bytes the cache occupies on disk.
@@ -269,4 +288,6 @@ class ArtifactCache:
                     # A concurrent evict can race the walk; a vanished
                     # file simply no longer occupies disk.
                     continue
+        if self.registry is not None:
+            self.registry.set_gauge("artifact_cache_bytes", float(total))
         return total

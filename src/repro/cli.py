@@ -22,13 +22,22 @@ this CLI mirrors that workflow:
     Exact ESU counts (small graphs only).
 ``motivo-py info <graph>``
     Basic statistics.
+``motivo-py stats <file>``
+    Pretty-print a telemetry snapshot (``--stats-out`` JSON) or a span
+    trace (``--trace-out`` JSON-lines), including histogram p50/p99.
 
 Graphs load from ``.txt`` edge lists or ``.npz`` binaries.
+
+Progress/notice lines go through stdlib :mod:`logging` to stderr
+(``--log-level``, ``--log-json`` — global flags, given before the
+subcommand); results stay on stdout, so piping estimates keeps working.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
 from typing import List, Optional
@@ -42,8 +51,63 @@ from repro.graphlets.encoding import decode_graphlet, graphlet_edge_count
 from repro.colorcoding.urn import DEFAULT_DESCENT_CACHE_BYTES
 from repro.motivo import MotivoConfig, MotivoCounter
 from repro.sampling.naive import DEFAULT_BATCH_SIZE
+from repro.telemetry import TelemetryConfig
 
 __all__ = ["main", "build_parser"]
+
+_LOG = logging.getLogger("motivo")
+
+
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line (``--log-json``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Point the root logger at (the current) stderr.
+
+    ``force=True`` replaces handlers installed by an earlier
+    :func:`main` call in the same process, so repeated invocations
+    (tests, notebooks) always log to the *current* ``sys.stderr``.
+    """
+    handler = logging.StreamHandler(sys.stderr)
+    if getattr(args, "log_json", False):
+        handler.setFormatter(_JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    level = getattr(
+        logging, str(getattr(args, "log_level", "info")).upper(),
+        logging.INFO,
+    )
+    logging.basicConfig(level=level, handlers=[handler], force=True)
+
+
+def _telemetry_config(args: argparse.Namespace) -> Optional[TelemetryConfig]:
+    """The command's telemetry config (``None`` when nothing is on)."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return None
+    return TelemetryConfig(trace_out=trace_out)
+
+
+def _write_stats(path: str, instrumentation) -> None:
+    """Dump a telemetry snapshot as JSON (readable by ``stats``)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            instrumentation.snapshot(), handle, indent=2, sort_keys=True
+        )
+        handle.write("\n")
+    _LOG.info("telemetry snapshot written to %s", path)
 
 _BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
 
@@ -71,6 +135,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="motivo-py",
         description="Approximate motif counting via color coding (Motivo reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"], default="info",
+        help="stderr logging threshold for progress/notice lines "
+             "(default info; results always print to stdout)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log lines as JSON objects instead of plain text",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -154,6 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write the estimates as JSON to this path",
     )
+    count.add_argument(
+        "--trace-out", default=None,
+        help="record build/sample stage spans as JSON lines to this "
+             "path (never touches the RNG streams)",
+    )
+    count.add_argument(
+        "--stats-out", default=None,
+        help="write the run's telemetry snapshot as JSON to this path "
+             "(pretty-print it with 'motivo-py stats')",
+    )
 
     build = commands.add_parser(
         "build",
@@ -227,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(later sample/serve runs adopt it; default "
              f"{DEFAULT_DESCENT_CACHE_BYTES})",
     )
+    build.add_argument(
+        "--trace-out", default=None,
+        help="record build stage spans as JSON lines to this path",
+    )
 
     sample = commands.add_parser(
         "sample",
@@ -290,6 +378,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write the estimates as JSON to this path",
     )
+    sample.add_argument(
+        "--trace-out", default=None,
+        help="record sampling stage spans as JSON lines to this path",
+    )
+    sample.add_argument(
+        "--stats-out", default=None,
+        help="write the run's telemetry snapshot as JSON to this path",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -308,6 +404,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true",
         help="log one line per HTTP request to stderr",
+    )
+    serve.add_argument(
+        "--trace-out", default=None,
+        help="record one serve.count span (plus nested sampling spans) "
+             "per request as JSON lines to this path",
     )
 
     exact = commands.add_parser("exact", help="exact ESU counts (small graphs)")
@@ -335,6 +436,21 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--k", type=int, default=5)
     profile.add_argument("--samples", type=int, default=20000)
     profile.add_argument("--seed", type=int, default=None)
+
+    stats = commands.add_parser(
+        "stats",
+        help="pretty-print a telemetry snapshot (--stats-out) or span "
+             "trace (--trace-out) file",
+    )
+    stats.add_argument(
+        "file",
+        help="a snapshot JSON document or a JSON-lines trace "
+             "(auto-detected)",
+    )
+    stats.add_argument(
+        "--top", type=int, default=20,
+        help="span names to show for traces (default 20)",
+    )
     return parser
 
 
@@ -371,9 +487,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         save_binary(graph, args.output)
     else:
         save_edge_list(graph, args.output)
-    print(
-        f"wrote {args.dataset}: n={graph.num_vertices} m={graph.num_edges} "
-        f"-> {args.output}"
+    _LOG.info(
+        "wrote %s: n=%d m=%d -> %s",
+        args.dataset, graph.num_vertices, graph.num_edges, args.output,
     )
     return 0
 
@@ -382,7 +498,7 @@ def _report_estimates(estimates, top: int, noninduced: bool, output) -> None:
     """Shared tail of ``count`` and ``sample``: table, conversions, JSON."""
     k = estimates.k
     if estimates.empty_urn:
-        print(
+        _LOG.warning(
             "empty urn: the coloring produced no colorful k-treelets "
             "(reporting 0 occurrences for every graphlet)"
         )
@@ -402,7 +518,7 @@ def _report_estimates(estimates, top: int, noninduced: bool, output) -> None:
     if output:
         with open(output, "w", encoding="utf-8") as handle:
             handle.write(estimates.to_json())
-        print(f"estimates written to {output}")
+        _LOG.info("estimates written to %s", output)
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
@@ -420,11 +536,14 @@ def _cmd_count(args: argparse.Namespace) -> int:
         memory_budget=args.memory_budget,
         num_shards=args.shards,
         shard_jobs=args.shard_jobs,
+        telemetry=_telemetry_config(args),
     )
     if args.colorings > 1:
-        estimates = _run_ensemble(graph, config, args)
+        estimates, instrumentation = _run_ensemble(graph, config, args)
     else:
-        estimates = _run_single(graph, config, args)
+        estimates, instrumentation = _run_single(graph, config, args)
+    if args.stats_out:
+        _write_stats(args.stats_out, instrumentation)
     _report_estimates(estimates, args.top, args.noninduced, args.output)
     return 0
 
@@ -434,37 +553,38 @@ def _run_single(graph, config, args):
     start = time.perf_counter()
     counter.build()
     build_seconds = time.perf_counter() - start
-    print(
-        f"build-up: n={graph.num_vertices} m={graph.num_edges} k={args.k} "
-        f"kernel={config.kernel} in {build_seconds:.2f}s"
+    _LOG.info(
+        "build-up: n=%d m=%d k=%d kernel=%s in %.2fs",
+        graph.num_vertices, graph.num_edges, args.k, config.kernel,
+        build_seconds,
     )
     if counter.build_budget is not None:
         budget = counter.build_budget
         ceiling = f"/{budget.limit}" if budget.limit is not None else ""
-        print(
-            f"sharded build: {counter.store.num_shards} shards, tracked "
-            f"peak {budget.peak}{ceiling} bytes"
+        _LOG.info(
+            "sharded build: %d shards, tracked peak %d%s bytes",
+            counter.store.num_shards, budget.peak, ceiling,
         )
     start = time.perf_counter()
     if args.ags:
         result = counter.sample_ags(args.samples, args.cover_threshold)
         estimates = result.estimates
-        print(
-            f"AGS: {args.samples} samples, {len(result.covered)} covered, "
-            f"{result.switches} shape switches, "
-            f"{time.perf_counter() - start:.2f}s"
+        _LOG.info(
+            "AGS: %d samples, %d covered, %d shape switches, %.2fs",
+            args.samples, len(result.covered), result.switches,
+            time.perf_counter() - start,
         )
     else:
         estimates = counter.sample_naive(args.samples)
-        print(
-            f"naive sampling: {args.samples} samples in "
-            f"{time.perf_counter() - start:.2f}s"
+        _LOG.info(
+            "naive sampling: %d samples in %.2fs",
+            args.samples, time.perf_counter() - start,
         )
     if counter.build_budget is not None:
         # One-shot run: drop the sharded build's scratch directory (it
         # defaults to a fresh tempdir the counter owns).
         counter.close()
-    return estimates
+    return estimates, counter.instrumentation
 
 
 def _run_ensemble(graph, config, args):
@@ -480,14 +600,14 @@ def _run_ensemble(graph, config, args):
         result = engine.run_naive(args.samples)
     seconds = time.perf_counter() - start
     inst = result.instrumentation
-    print(
-        f"ensemble: n={graph.num_vertices} m={graph.num_edges} k={args.k} "
-        f"kernel={config.kernel}: {result.colorings} colorings x "
-        f"{args.samples} samples on {args.jobs} job(s) in {seconds:.2f}s "
-        f"({result.empty_runs} empty, "
-        f"{inst.timings['buildup']:.2f}s total build)"
+    _LOG.info(
+        "ensemble: n=%d m=%d k=%d kernel=%s: %d colorings x %d samples "
+        "on %d job(s) in %.2fs (%d empty, %.2fs total build)",
+        graph.num_vertices, graph.num_edges, args.k, config.kernel,
+        result.colorings, args.samples, args.jobs, seconds,
+        result.empty_runs, inst.timings["buildup"],
     )
-    return result.estimates
+    return result.estimates, inst
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -504,6 +624,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         memory_budget=args.memory_budget,
         num_shards=args.shards,
         shard_jobs=args.shard_jobs,
+        telemetry=_telemetry_config(args),
     )
     start = time.perf_counter()
     if args.colorings > 1:
@@ -516,10 +637,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
             args.output, codec=args.codec, source=args.graph
         )
         built = sum(1 for member in bundle.manifest["members"] if member)
-        print(
-            f"ensemble artifact: {built}/{args.colorings} colorings built "
-            f"(k={args.k}, codec={args.codec}) in "
-            f"{time.perf_counter() - start:.2f}s -> {args.output}"
+        _LOG.info(
+            "ensemble artifact: %d/%d colorings built (k=%d, codec=%s) "
+            "in %.2fs -> %s",
+            built, args.colorings, args.k, args.codec,
+            time.perf_counter() - start, args.output,
         )
         return 0
     with MotivoCounter(graph, config) as counter:
@@ -528,12 +650,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
             args.output, codec=args.codec, source=args.graph
         )
     manifest = artifact.manifest
-    print(
-        f"table artifact: k={args.k} codec={args.codec} "
-        f"{len(manifest['layers'])} layers, {artifact.total_pairs()} pairs, "
-        f"{artifact.payload_bytes()} bytes "
-        f"({artifact.bits_per_pair():.1f} bits/pair vs paper's 176) in "
-        f"{time.perf_counter() - start:.2f}s -> {args.output}"
+    _LOG.info(
+        "table artifact: k=%d codec=%s %d layers, %d pairs, %d bytes "
+        "(%.1f bits/pair vs paper's 176) in %.2fs -> %s",
+        args.k, args.codec, len(manifest["layers"]),
+        artifact.total_pairs(), artifact.payload_bytes(),
+        artifact.bits_per_pair(), time.perf_counter() - start,
+        args.output,
     )
     return 0
 
@@ -572,7 +695,9 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         # explicit override.
         engine = PipelineEngine(
             graph,
-            MotivoConfig(k=int(manifest["k"])),
+            MotivoConfig(
+                k=int(manifest["k"]), telemetry=_telemetry_config(args)
+            ),
             colorings=len(manifest["seeds"]),
             jobs=args.jobs,
         )
@@ -589,17 +714,19 @@ def _cmd_sample(args: argparse.Namespace) -> int:
                 table_layout=args.table_layout,
             )
         estimates = result.estimates
-        print(
-            f"sampled ensemble artifact: {result.colorings} colorings x "
-            f"{args.samples} {mode} samples on {args.jobs} job(s) in "
-            f"{time.perf_counter() - start:.2f}s (no rebuild, "
-            f"{result.empty_runs} empty)"
+        instrumentation = result.instrumentation
+        _LOG.info(
+            "sampled ensemble artifact: %d colorings x %d %s samples on "
+            "%d job(s) in %.2fs (no rebuild, %d empty)",
+            result.colorings, args.samples, mode, args.jobs,
+            time.perf_counter() - start, result.empty_runs,
         )
     else:
         counter = MotivoCounter.from_artifact(
             graph, args.artifact, verify=args.verify, reseed=args.seed,
             table_layout=args.table_layout,
         )
+        counter.configure_telemetry(_telemetry_config(args))
         # from_artifact restored the recorded batch_size; only an
         # explicit flag overrides it (chunking changes the draw stream).
         if args.batch_size is not None:
@@ -610,10 +737,14 @@ def _cmd_sample(args: argparse.Namespace) -> int:
             ).estimates
         else:
             estimates = counter.sample_naive(args.samples)
-        print(
-            f"sampled table artifact: {args.samples} {mode} samples in "
-            f"{time.perf_counter() - start:.2f}s (memory-mapped, no rebuild)"
+        instrumentation = counter.instrumentation
+        _LOG.info(
+            "sampled table artifact: %d %s samples in %.2fs "
+            "(memory-mapped, no rebuild)",
+            args.samples, mode, time.perf_counter() - start,
         )
+    if args.stats_out:
+        _write_stats(args.stats_out, instrumentation)
     _report_estimates(estimates, args.top, args.noninduced, args.output)
     return 0
 
@@ -621,15 +752,20 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import SamplingService, serve_http
 
-    service = SamplingService(args.artifact_dir)
+    service = SamplingService(
+        args.artifact_dir, telemetry=_telemetry_config(args)
+    )
     entries = service.artifacts()
     server = serve_http(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
     host, port = server.server_address[:2]
+    # A deliberate print (flushed stdout, not a log line): wrapper
+    # scripts — the CI smoke test included — block on this line to know
+    # the port is bound, whatever --log-level is in effect.
     print(
         f"serving {len(entries)} artifact(s) from {args.artifact_dir} "
-        f"on http://{host}:{port} (/count /artifacts /healthz); "
+        f"on http://{host}:{port} (/count /artifacts /healthz /metrics); "
         "Ctrl-C stops",
         flush=True,
     )
@@ -710,10 +846,115 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_snapshot_stats(snapshot: dict) -> int:
+    """Pretty-print one telemetry snapshot document."""
+    from repro.telemetry import histogram_quantile
+
+    families: "dict[str, dict]" = {
+        "count.": {}, "time.": {}, "gauge.": {}, "hist.": {},
+    }
+    for name, value in snapshot.items():
+        for prefix, bucket in families.items():
+            if name.startswith(prefix):
+                bucket[name[len(prefix):]] = value
+                break
+    counters, timers, gauges, hists = (
+        families["count."], families["time."],
+        families["gauge."], families["hist."],
+    )
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name:<44}{counters[name]:>18.0f}")
+    if timers:
+        print("timers (total seconds):")
+        for name in sorted(timers):
+            print(f"  {name:<44}{timers[name]:>18.6f}")
+    if gauges:
+        print("gauges:")
+        for name in sorted(gauges):
+            print(f"  {name:<44}{gauges[name]:>18.3f}")
+    for name in sorted(hists):
+        state = hists[name]
+        observations = int(sum(state.get("counts", [])))
+        print(
+            f"histogram {name}: n={observations} "
+            f"sum={float(state.get('sum', 0.0)):.6f} "
+            f"p50={histogram_quantile(state, 0.5):.6f} "
+            f"p99={histogram_quantile(state, 0.99):.6f}"
+        )
+    if not any((counters, timers, gauges, hists)):
+        print("empty snapshot (no telemetry families recorded)")
+    return 0
+
+
+def _print_trace_stats(spans: "list[dict]", top: int) -> int:
+    """Aggregate and print one JSON-lines span trace."""
+    by_name: "dict[str, list[float]]" = {}
+    traces = set()
+    errors = 0
+    for record in spans:
+        name = str(record.get("name", "?"))
+        by_name.setdefault(name, []).append(
+            float(record.get("dur_ms", 0.0))
+        )
+        if record.get("trace"):
+            traces.add(record["trace"])
+        if record.get("error"):
+            errors += 1
+    print(
+        f"{len(spans)} spans in {len(traces)} trace(s)"
+        + (f", {errors} error span(s)" if errors else "")
+    )
+    print(
+        f"{'span':<28}{'count':>8}{'total ms':>14}{'mean ms':>12}"
+        f"{'max ms':>12}"
+    )
+    ranked = sorted(
+        by_name.items(), key=lambda item: -sum(item[1])
+    )[:top]
+    for name, durations in ranked:
+        total = sum(durations)
+        print(
+            f"{name:<28}{len(durations):>8}{total:>14.3f}"
+            f"{total / len(durations):>12.3f}{max(durations):>12.3f}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        document = json.loads(text)
+    except ValueError:
+        document = None
+    if isinstance(document, dict):
+        return _print_snapshot_stats(document)
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            print(
+                f"error: {args.file} is neither a telemetry snapshot "
+                "(JSON object) nor a span trace (JSON lines)",
+                file=sys.stderr,
+            )
+            return 1
+        if isinstance(record, dict):
+            spans.append(record)
+    return _print_trace_stats(spans, args.top)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     handlers = {
         "generate": _cmd_generate,
         "count": _cmd_count,
@@ -724,6 +965,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "suggest-lambda": _cmd_suggest_lambda,
         "profile": _cmd_profile,
+        "stats": _cmd_stats,
     }
     try:
         return handlers[args.command](args)

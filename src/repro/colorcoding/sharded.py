@@ -80,6 +80,7 @@ from repro.errors import BuildError, MemoryBudgetError
 from repro.graph.graph import Graph
 from repro.table.count_table import LAYOUTS, CountTable, Layer
 from repro.table.layer_store import ShardedStore
+from repro.telemetry.tracing import span as _trace_span
 from repro.treelets.registry import TreeletRegistry
 from repro.util.instrument import Instrumentation
 
@@ -378,7 +379,8 @@ def _streamed_spmm(
                 edge_cols[selected], return_inverse=True
             )
             transient = (num_keys * (hi_t - lo_t) + halo.size * num_vecs) * 8
-            with budget.hold(f"layer-{size} halo shard", transient):
+            with budget.hold(f"layer-{size} halo shard", transient), \
+                    _trace_span("sharded.halo", layer=size, source_shard=t):
                 block = np.load(ctx.store._shard_path(size, t))
                 if row_subset is None:
                     gathered = block[:, halo - lo_t]
@@ -729,17 +731,18 @@ def build_table_sharded(
                 )
                 for i in range(num_shards)
             ]
-            results = execute_tasks(
-                tasks,
-                _run_shard_task,
-                lambda task: _execute_shard(context, task),
-                jobs,
-                initializer=_init_shard_worker,
-                initargs=(
-                    graph, colors, k, zero_rooting, store.directory,
-                    num_shards, budget.limit,
-                ),
-            )
+            with _trace_span("sharded.level", level=h, mode=mode):
+                results = execute_tasks(
+                    tasks,
+                    _run_shard_task,
+                    lambda task: _execute_shard(context, task),
+                    jobs,
+                    initializer=_init_shard_worker,
+                    initargs=(
+                        graph, colors, k, zero_rooting, store.directory,
+                        num_shards, budget.limit,
+                    ),
+                )
             bitmap = np.zeros(len(level_keys), dtype=bool)
             for _shard, shard_bitmap, peak, snapshot in results:
                 bitmap |= shard_bitmap

@@ -97,6 +97,7 @@ from repro.errors import SamplingError
 from repro.colorcoding.coloring import ColoringScheme
 from repro.colorcoding.descent import DescentProgram, compile_program
 from repro.graph.graph import Graph
+from repro.telemetry.tracing import span as _trace_span
 from repro.table.count_table import CountTable
 from repro.treelets.encoding import getsize
 from repro.treelets.registry import TreeletRegistry
@@ -616,7 +617,8 @@ class TreeletUrn:
         slot = self._gath_slot
         if not (slot[gkids] < 0).any():
             return self._gath_matrix, slot
-        with self.instrumentation.timer("sample_gather"):
+        with self.instrumentation.timer("sample_gather"), \
+                _trace_span("sample.gather"):
             flat = gkids.ravel()
             missing = np.unique(flat[slot[flat] < 0])
             room = self._gathered_row_budget - self._gathered_cached_rows
@@ -706,9 +708,11 @@ class TreeletUrn:
                 ranks = node_rank[gids]
                 split_u = uniforms[samples, 3 + 2 * ranks]
                 child_u = uniforms[samples, 4 + 2 * ranks]
-                sub_masks, children = self._fused_wave(
-                    program, node_op[gids], masks, verts, split_u, child_u
-                )
+                with _trace_span("descent.wave"):
+                    sub_masks, children = self._fused_wave(
+                        program, node_op[gids], masks, verts, split_u,
+                        child_u,
+                    )
                 samples = np.concatenate([samples, samples])
                 gids = np.concatenate([left[gids], right[gids]])
                 verts = np.concatenate([verts, children])

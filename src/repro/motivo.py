@@ -39,6 +39,7 @@ Quickstart::
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
@@ -56,6 +57,8 @@ from repro.sampling.naive import DEFAULT_BATCH_SIZE, naive_estimate
 from repro.sampling.occurrences import GraphletClassifier
 from repro.table.flush import SpillStore
 from repro.table.layer_store import InMemoryStore, LayerStore, SpillLayerStore
+from repro.telemetry import TelemetryConfig, build_tracer
+from repro.telemetry.tracing import activate
 from repro.treelets.registry import TreeletRegistry
 from repro.util.instrument import Instrumentation
 from repro.util.rng import ensure_rng, spawn_rng
@@ -150,6 +153,16 @@ class MotivoConfig:
         Worker processes for the sharded build's per-level shard fan-out
         (results fold in shard order, so parallel builds stay
         byte-identical).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryConfig`.  When its
+        ``trace_out`` is set, build/sample stages emit nested spans to
+        that JSON-lines sink (``buildup``, ``artifact.open``,
+        ``artifact.seal``, ``sample.naive``, ``sample.ags``, plus the
+        inner ``descent.wave`` / ``sample.gather`` / ``sample.classify``
+        / ``sharded.*`` spans).  Telemetry never touches the RNG
+        streams — estimates are bit-identical with it on or off — and
+        it is deliberately **not** a build field, so it never changes an
+        artifact-cache key.
     """
 
     k: int = 5
@@ -170,6 +183,7 @@ class MotivoConfig:
     num_shards: Optional[int] = None
     shard_dir: Optional[str] = None
     shard_jobs: int = 1
+    telemetry: Optional[TelemetryConfig] = None
 
     def build_params(self) -> dict:
         """The table-relevant fields, as recorded in artifact manifests."""
@@ -201,6 +215,21 @@ class MotivoCounter:
         #: of the ensemble engine's null members.
         self.empty_urn: bool = False
         self._built: bool = False
+        self._tracer = build_tracer(self.config.telemetry)
+
+    @contextmanager
+    def _stage(self, name: str, **attrs):
+        """A traced pipeline stage (no-op unless tracing is configured).
+
+        Activates this counter's tracer for the dynamic extent of the
+        stage so the module-level spans in the kernels (``descent.wave``,
+        ``sample.gather``, …) nest under it.
+        """
+        if self._tracer is None:
+            yield
+            return
+        with activate(self._tracer), self._tracer.span(name, **attrs):
+            yield
 
     # ------------------------------------------------------------------
     # Build-up phase
@@ -229,6 +258,12 @@ class MotivoCounter:
         return self._build_fresh()
 
     def _build_fresh(self) -> Optional[TreeletUrn]:
+        with self._stage(
+            "buildup", k=self.config.k, kernel=self.config.kernel
+        ):
+            return self._build_fresh_inner()
+
+    def _build_fresh_inner(self) -> Optional[TreeletUrn]:
         config = self.config
         n = self.graph.num_vertices
         if config.biased_lambda is None:
@@ -315,7 +350,9 @@ class MotivoCounter:
         from repro.artifacts import ArtifactCache, open_table
 
         config = self.config
-        cache = ArtifactCache(config.artifact_dir)
+        cache = ArtifactCache(
+            config.artifact_dir, registry=self.instrumentation.registry
+        )
         key = cache.key(self.graph, config, config.artifact_codec)
         slot = cache.lookup(self.graph, config, config.artifact_codec)
         if slot is not None:
@@ -423,18 +460,19 @@ class MotivoCounter:
             )
         from repro.artifacts import save_table
 
-        return save_table(
-            directory,
-            urn.table,
-            self.coloring,
-            self.graph,
-            codec=codec,
-            build=self.config.build_params(),
-            rng_state=self._rng.bit_generator.state,
-            instrumentation=self.instrumentation,
-            source=source,
-            descent_program=urn.descent_program(),
-        )
+        with self._stage("artifact.seal", codec=codec):
+            return save_table(
+                directory,
+                urn.table,
+                self.coloring,
+                self.graph,
+                codec=codec,
+                build=self.config.build_params(),
+                rng_state=self._rng.bit_generator.state,
+                instrumentation=self.instrumentation,
+                source=source,
+                descent_program=urn.descent_program(),
+            )
 
     @classmethod
     def from_artifact(
@@ -504,6 +542,12 @@ class MotivoCounter:
         self, artifact, reseed: "Optional[int]" = None
     ) -> "MotivoCounter":
         """Take over a loaded artifact's table, coloring, and RNG stream."""
+        with self._stage("artifact.open", k=self.config.k):
+            return self._adopt_artifact_inner(artifact, reseed=reseed)
+
+    def _adopt_artifact_inner(
+        self, artifact, reseed: "Optional[int]" = None
+    ) -> "MotivoCounter":
         self.coloring = artifact.coloring
         if reseed is not None:
             self._rng = ensure_rng(reseed)
@@ -542,6 +586,21 @@ class MotivoCounter:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def configure_telemetry(
+        self, telemetry: Optional[TelemetryConfig]
+    ) -> None:
+        """Adopt a telemetry config after construction.
+
+        Counters reopened via :meth:`from_artifact` derive their config
+        from the artifact manifest, which never records telemetry (it is
+        not a build field); this re-points the tracer without touching
+        anything that affects estimates.
+        """
+        self.config.telemetry = telemetry
+        if self._tracer is not None:
+            self._tracer.close()
+        self._tracer = build_tracer(telemetry)
+
     def close(self) -> None:
         """Release the build's on-disk scratch state (spill files).
 
@@ -551,6 +610,8 @@ class MotivoCounter:
         """
         if self.store is not None:
             self.store.close()
+        if self._tracer is not None:
+            self._tracer.close()
 
     def __enter__(self) -> "MotivoCounter":
         return self
@@ -571,10 +632,11 @@ class MotivoCounter:
         urn = self._require_built()
         if urn is None:
             return self._empty_estimates(num_samples, "naive")
-        return naive_estimate(
-            urn, self.classifier, num_samples, self._rng,
-            batch_size=self.config.batch_size,
-        )
+        with self._stage("sample.naive", samples=num_samples):
+            return naive_estimate(
+                urn, self.classifier, num_samples, self._rng,
+                batch_size=self.config.batch_size,
+            )
 
     def sample_ags(
         self, budget: int, cover_threshold: int = 300
@@ -587,15 +649,16 @@ class MotivoCounter:
         urn = self._require_built()
         if urn is None:
             return AGSResult(estimates=self._empty_estimates(budget, "ags"))
-        return ags_estimate(
-            urn,
-            self.classifier,
-            budget,
-            cover_threshold=cover_threshold,
-            rng=self._rng,
-            sigma_cache=self.sigma_cache,
-            batch_size=self.config.batch_size,
-        )
+        with self._stage("sample.ags", budget=budget):
+            return ags_estimate(
+                urn,
+                self.classifier,
+                budget,
+                cover_threshold=cover_threshold,
+                rng=self._rng,
+                sigma_cache=self.sigma_cache,
+                batch_size=self.config.batch_size,
+            )
 
     # ------------------------------------------------------------------
     # Multi-run averaging (paper §5 "Ground truth" and error bounds)

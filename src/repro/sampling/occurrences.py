@@ -36,6 +36,7 @@ from repro.errors import SamplingError
 from repro.graph.graph import Graph
 from repro.graphlets.canonical import canonical_form
 from repro.graphlets.encoding import pair_index
+from repro.telemetry.tracing import span as _trace_span
 
 __all__ = ["GraphletClassifier"]
 
@@ -114,7 +115,8 @@ class GraphletClassifier:
         """
         started = time.perf_counter()
         try:
-            return self._classify_batch_inner(vertices_matrix)
+            with _trace_span("sample.classify"):
+                return self._classify_batch_inner(vertices_matrix)
         finally:
             self.classify_seconds += time.perf_counter() - started
 

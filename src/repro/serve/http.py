@@ -8,6 +8,11 @@ work, so the HTTP layer is a thin JSON codec:
 ``GET /healthz``
     Liveness plus serving totals (open tables, sessions, request and
     coalescing counters, cache bytes on disk).
+``GET /metrics``
+    The telemetry registry in Prometheus text exposition format 0.0.4
+    (counters, timers, gauges, and the ``serve_request_seconds``
+    latency histogram — p50/p99 come out of ``histogram_quantile`` on
+    its buckets).
 ``GET /artifacts``
     Every servable artifact in the cache, with warm-handle state.
 ``POST /count``
@@ -17,6 +22,13 @@ work, so the HTTP layer is a thin JSON codec:
     ``hits`` encoding as ``motivo-py sample --output``) plus request
     metadata (``key``, ``session``, ``sequence``, ``elapsed_ms``,
     ``empty_urn``).
+
+**Tracing.**  Every request gets a trace id: an inbound ``X-Trace-Id``
+header is honored (sanitized to ``[A-Za-z0-9_.-]``, max 128 chars),
+otherwise a fresh ``os.urandom`` id is minted — never an RNG draw.
+Every response (success or error, any route) echoes it back in
+``X-Trace-Id``, and a service configured with ``trace_out`` records
+the request's ``serve.count`` span under it.
 
 Error mapping: unknown/evicted artifacts → 404, malformed requests and
 library :class:`~repro.errors.ReproError` s → 400, everything else →
@@ -29,13 +41,28 @@ The full API schema and the per-session determinism contract live in
 from __future__ import annotations
 
 import json
+import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.errors import ReproError, ServeError
 from repro.serve.service import SamplingService
+from repro.telemetry.tracing import new_trace_id
 
 __all__ = ["SamplingHTTPServer", "serve_http"]
+
+#: Characters an inbound trace id may carry; anything else is replaced
+#: before the id is echoed (header-splitting hygiene).
+_TRACE_ID_OK = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def _resolve_trace_id(header_value: Optional[str]) -> str:
+    """The request's trace id: the sanitized inbound one, or fresh."""
+    if header_value:
+        cleaned = _TRACE_ID_OK.sub("_", header_value.strip())[:128]
+        if cleaned:
+            return cleaned
+    return new_trace_id()
 
 
 class SamplingHTTPServer(ThreadingHTTPServer):
@@ -60,13 +87,31 @@ class _Handler(BaseHTTPRequestHandler):
         if not getattr(self.server, "quiet", True):
             super().log_message(format, *args)
 
+    def _trace_id(self) -> str:
+        """This request's trace id (resolved once, then reused)."""
+        cached = getattr(self, "_request_trace_id", None)
+        if cached is None:
+            cached = _resolve_trace_id(self.headers.get("X-Trace-Id"))
+            self._request_trace_id = cached
+        return cached
+
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", self._trace_id())
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.send_header("X-Trace-Id", self._trace_id())
+        self.end_headers()
+        self.wfile.write(encoded)
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -84,10 +129,19 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        # Keep-alive connections reuse the handler instance: re-resolve
+        # the trace id for every request, never carry one over.
+        self._request_trace_id = None
         service = self.server.service
         try:
             if self.path == "/healthz":
                 self._send_json(200, service.healthz())
+            elif self.path == "/metrics":
+                self._send_text(
+                    200,
+                    service.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif self.path == "/artifacts":
                 self._send_json(200, {"artifacts": service.artifacts()})
             else:
@@ -96,6 +150,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(*_error_response(error))
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._request_trace_id = None
         service = self.server.service
         if self.path != "/count":
             # Drain the body first: on a keep-alive (HTTP/1.1)
@@ -115,6 +170,7 @@ class _Handler(BaseHTTPRequestHandler):
                 session=str(request.get("session", "default")),
                 seed=_opt_int(request, "seed"),
                 cover_threshold=_as_int(request, "cover_threshold", 300),
+                trace_id=self._trace_id(),
             )
             self._send_json(200, result.to_payload())
         except Exception as error:  # noqa: BLE001 - must answer

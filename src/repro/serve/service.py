@@ -53,9 +53,20 @@ Determinism contract (per session):
   loop issuing the same (estimator, samples) sequence.
 * Concurrency never changes results — only which draws share a batch.
 
-Instrumentation merges into the service's
-:class:`~repro.util.instrument.Instrumentation` via the existing
-snapshot transport, so ``/healthz`` reports totals across all handles.
+**Telemetry.**  The service owns one
+:class:`~repro.telemetry.MetricsRegistry`; every handle's
+instrumentation, every urn's counters, and the artifact cache's
+hit/miss/evict counters share it, so all mutation runs under the
+registry lock (no ad-hoc stats locks) and ``/healthz`` /
+``GET /metrics`` read one consistent registry instead of merging
+per-handle bags.  Request latency lands in the
+``serve_request_seconds`` histogram (fixed exponential buckets, so
+p50/p99 come out of ``histogram_quantile``).  With a
+:class:`~repro.telemetry.TelemetryConfig` whose ``trace_out`` is set,
+each request runs under a ``serve.count`` span carrying the request's
+trace id (inbound ``X-Trace-Id`` or a fresh ``os.urandom`` id — never
+an RNG draw), with the urn's descent/gather/classify spans nested
+inside.
 """
 
 from __future__ import annotations
@@ -78,6 +89,13 @@ from repro.sampling.estimates import GraphletEstimates
 from repro.sampling.naive import naive_estimate
 from repro.sampling.occurrences import GraphletClassifier
 from repro.colorcoding.urn import DEFAULT_DESCENT_CACHE_BYTES, TreeletUrn
+from repro.telemetry import (
+    MetricsRegistry,
+    TelemetryConfig,
+    build_tracer,
+    render_prometheus,
+)
+from repro.telemetry.tracing import activate
 from repro.util.instrument import Instrumentation
 from repro.util.rng import ensure_rng
 
@@ -192,6 +210,7 @@ class TableHandle:
         k: int,
         batch_size: int,
         manifest: dict,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.key = key
         self.directory = directory
@@ -201,12 +220,14 @@ class TableHandle:
         self.k = k
         self.batch_size = batch_size
         self.manifest = manifest
-        self.instrumentation = Instrumentation()
+        # All counter mutation goes through the registry's lock (the
+        # service shares its registry with every handle), so concurrent
+        # request threads and snapshot readers never race — the ad-hoc
+        # per-handle stats lock this replaced could not cover the
+        # urn's counters at all.
+        self.instrumentation = Instrumentation(registry=registry)
         self.sigma_cache = SigmaCache(None)
         self._state_lock = threading.Lock()
-        #: Guards ``instrumentation`` (a plain dict bag with no locking
-        #: of its own) against concurrent writers and snapshot readers.
-        self._stats_lock = threading.Lock()
         self._draw_lock = threading.Lock()
         self._queue: List[_DrawJob] = []
         self._queue_lock = threading.Lock()
@@ -342,13 +363,10 @@ class TableHandle:
                     continue
                 vertices, treelets, masks = batch
                 if len(group) > 1:
-                    with self._stats_lock:
-                        self.instrumentation.count(
-                            "serve_coalesced_batches"
-                        )
-                        self.instrumentation.count(
-                            "serve_coalesced_draws", total
-                        )
+                    self.instrumentation.count("serve_coalesced_batches")
+                    self.instrumentation.count(
+                        "serve_coalesced_draws", total
+                    )
                 offset = 0
                 for job in group:
                     rows = job.uniforms.shape[0]
@@ -431,26 +449,26 @@ class TableHandle:
         )
 
     def stats_snapshot(self) -> "dict[str, float]":
-        """A consistent copy of this handle's counters/timings."""
-        with self._stats_lock:
-            return self.instrumentation.snapshot()
+        """A consistent copy of this handle's counters/timings.
+
+        With the registry shared across the service, this is the whole
+        registry's snapshot (taken under its lock) — callers filter by
+        name rather than by owner.
+        """
+        return self.instrumentation.snapshot()
 
     def sampling_stats(self) -> "dict[str, float]":
         """Per-stage sampling-plane counters/timings of this handle.
 
-        The urn's instrumentation bag is only mutated under the draw
-        lock, so the snapshot briefly takes it too (with a short
-        timeout: a stats poll must never stall behind a long draw — it
-        then reports the classifier side only, which reads plain
-        scalars and is always safe).
+        Urn counters live in the shared metrics registry (snapshots are
+        consistent under its lock — no draw-lock dance needed anymore);
+        the classifier's deliberately lock-free plain scalars are folded
+        in on top.
         """
         stats: "dict[str, float]" = {}
         urn = self.urn
-        if urn is not None and self._draw_lock.acquire(timeout=0.05):
-            try:
-                stats.update(urn.instrumentation.snapshot())
-            finally:
-                self._draw_lock.release()
+        if urn is not None:
+            stats.update(urn.instrumentation.snapshot())
         for name, value in self.classifier.stats_snapshot().items():
             stats[name] = stats.get(name, 0.0) + value
         return stats
@@ -477,6 +495,11 @@ class SamplingService:
         Bound on retained session states; the oldest idle sessions are
         dropped past it (a dropped session id simply reopens from its
         seed on next use, which restarts — not continues — its stream).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryConfig`; its
+        ``trace_out`` turns on per-request ``serve.count`` spans (and
+        the nested sampling-stage spans) to that JSON-lines sink.
+        Metrics need no opt-in — the registry always runs.
     """
 
     def __init__(
@@ -484,8 +507,14 @@ class SamplingService:
         artifact_root: str,
         graph_loader: Optional[Callable[[str], Graph]] = None,
         max_sessions: int = 10_000,
+        telemetry: Optional[TelemetryConfig] = None,
     ):
-        self.cache = ArtifactCache(artifact_root)
+        #: The one metrics registry every component of this service
+        #: shares: service counters, handle/urn instrumentation, the
+        #: artifact cache, and the request-latency histogram.
+        self.registry = MetricsRegistry()
+        self.tracer = build_tracer(telemetry)
+        self.cache = ArtifactCache(artifact_root, registry=self.registry)
         self._graph_loader = graph_loader or _default_graph_loader
         self._graphs: Dict[str, Graph] = {}
         self._handles: Dict[str, TableHandle] = {}
@@ -499,8 +528,7 @@ class SamplingService:
         #: would leave a zombie handle serving an unlinked artifact.
         self._evict_gen: Dict[str, int] = {}
         self._lock = threading.Lock()
-        self._stats_lock = threading.Lock()
-        self.instrumentation = Instrumentation()
+        self.instrumentation = Instrumentation(registry=self.registry)
         self.started_at = time.time()
         #: (monotonic stamp, value) cache of the cache-root tree walk,
         #: so /healthz polling does not become disk-bound.
@@ -613,6 +641,7 @@ class SamplingService:
                     build.get("descent_cache_bytes", 0)
                     or DEFAULT_DESCENT_CACHE_BYTES
                 ),
+                instrumentation=Instrumentation(registry=self.registry),
             )
         except SamplingError:
             # An artifact holding an empty table (e.g. exported through
@@ -627,9 +656,9 @@ class SamplingService:
             k=k,
             batch_size=batch_size,
             manifest=manifest,
+            registry=self.registry,
         )
-        with self._stats_lock:
-            self.instrumentation.count("serve_tables_opened")
+        self.instrumentation.count("serve_tables_opened")
         return handle
 
     def _checkout(self, key: str) -> TableHandle:
@@ -663,8 +692,7 @@ class SamplingService:
                 del self._sessions[session_key]
         if handle is not None:
             handle.mark_closing()
-            with self._stats_lock:
-                self.instrumentation.count("serve_tables_evicted")
+            self.instrumentation.count("serve_tables_evicted")
         if from_disk:
             self.cache.evict(key)
         return handle is not None
@@ -676,6 +704,8 @@ class SamplingService:
             self._sessions.clear()
         for handle in handles:
             handle.mark_closing()
+        if self.tracer is not None:
+            self.tracer.close()
 
     def __enter__(self) -> "SamplingService":
         return self
@@ -762,6 +792,7 @@ class SamplingService:
         session: str = "default",
         seed: Optional[int] = None,
         cover_threshold: int = 300,
+        trace_id: Optional[str] = None,
     ) -> CountResult:
         """Answer one count query (the ``/count`` endpoint's engine).
 
@@ -779,7 +810,34 @@ class SamplingService:
             session are serialized in arrival order and reproduce a
             single-threaded ``from_artifact(reseed=seed)`` loop bit for
             bit; distinct sessions run concurrently.
+        trace_id:
+            Trace id to run the request's ``serve.count`` span under
+            (the HTTP front-end passes an inbound ``X-Trace-Id``
+            through); ignored unless the service has a tracer.
         """
+        if self.tracer is None:
+            return self._count_inner(
+                artifact, estimator, samples, session, seed,
+                cover_threshold,
+            )
+        with activate(self.tracer), self.tracer.span(
+            "serve.count", trace_id=trace_id,
+            estimator=estimator, samples=samples, session=session,
+        ):
+            return self._count_inner(
+                artifact, estimator, samples, session, seed,
+                cover_threshold,
+            )
+
+    def _count_inner(
+        self,
+        artifact: Optional[str],
+        estimator: str,
+        samples: int,
+        session: str,
+        seed: Optional[int],
+        cover_threshold: int,
+    ) -> CountResult:
         if estimator not in ESTIMATORS:
             raise ServeError(
                 f"unknown estimator {estimator!r}; choose from {ESTIMATORS}"
@@ -816,9 +874,9 @@ class SamplingService:
         finally:
             handle.release()
         elapsed = time.perf_counter() - started
-        with self._stats_lock:
-            self.instrumentation.count("serve_requests")
-            self.instrumentation.count("serve_samples", samples)
+        self.instrumentation.count("serve_requests")
+        self.instrumentation.count("serve_samples", samples)
+        self.registry.observe("serve_request_seconds", elapsed)
         return CountResult(
             key=key,
             session=session,
@@ -854,28 +912,39 @@ class SamplingService:
             )
         return out
 
-    def healthz(self) -> dict:
-        """The ``/healthz`` body: liveness plus serving totals."""
+    def _merged_snapshot(self) -> "tuple[dict, int, int]":
+        """One consistent stats view: the shared registry's snapshot
+        with every warm handle's classifier scalars folded in, plus the
+        (open_tables, sessions) liveness pair.
+
+        Handles, urns, and the artifact cache all write into the shared
+        registry, so a single snapshot (taken under the registry lock)
+        replaces the old merge-per-handle dance — the classifier is the
+        one deliberately lock-free component left outside it.
+        """
         with self._lock:
             open_tables = len(self._handles)
             sessions = len(self._sessions)
             handles = list(self._handles.values())
-        merged = Instrumentation()
-        with self._stats_lock:
-            merged.merge(
-                Instrumentation.from_snapshot(
-                    self.instrumentation.snapshot()
-                )
-            )
+        snapshot = self.registry.snapshot()
         for handle in handles:
-            merged.merge(
-                Instrumentation.from_snapshot(handle.stats_snapshot())
-            )
-            merged.merge(
-                Instrumentation.from_snapshot(handle.sampling_stats())
-            )
-        counters = merged.counters
-        timings = merged.timings
+            for name, value in handle.classifier.stats_snapshot().items():
+                snapshot[name] = snapshot.get(name, 0.0) + value
+        return snapshot, open_tables, sessions
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` body: liveness plus serving totals."""
+        snapshot, open_tables, sessions = self._merged_snapshot()
+        counters = {
+            name[len("count."):]: value
+            for name, value in snapshot.items()
+            if name.startswith("count.")
+        }
+        timings = {
+            name[len("time."):]: value
+            for name, value in snapshot.items()
+            if name.startswith("time.")
+        }
         sampling = {
             "plan_compiles": int(counters.get("descent_plan_compiles", 0)),
             "gather_builds": int(
@@ -926,6 +995,30 @@ class SamplingService:
         with self._lock:
             self._disk_usage = (now, value)
         return value
+
+    def metrics_snapshot(self) -> "dict[str, float]":
+        """The ``GET /metrics`` source: one merged telemetry snapshot.
+
+        The shared registry plus classifier scalars (via
+        :meth:`_merged_snapshot`), topped up with liveness gauges
+        (``serve_open_tables``, ``serve_sessions``,
+        ``serve_uptime_seconds``) and the TTL-cached
+        ``artifact_cache_bytes`` disk gauge.
+        """
+        snapshot, open_tables, sessions = self._merged_snapshot()
+        snapshot["gauge.serve_open_tables"] = float(open_tables)
+        snapshot["gauge.serve_sessions"] = float(sessions)
+        snapshot["gauge.serve_uptime_seconds"] = round(
+            time.time() - self.started_at, 3
+        )
+        snapshot["gauge.artifact_cache_bytes"] = float(
+            self._bytes_on_disk_cached()
+        )
+        return snapshot
+
+    def metrics_text(self) -> str:
+        """Prometheus text-format exposition of :meth:`metrics_snapshot`."""
+        return render_prometheus(self.metrics_snapshot())
 
 
 def _default_graph_loader(source: str) -> Graph:

@@ -1,0 +1,52 @@
+"""Telemetry plane: typed metrics, span tracing, Prometheus exposition.
+
+Three modules, one contract:
+
+:mod:`repro.telemetry.metrics`
+    :class:`MetricsRegistry` — counters, gauges, timers, and
+    fixed-boundary histograms behind one lock, with the same picklable
+    snapshot/merge transport :class:`~repro.util.instrument.Instrumentation`
+    has always used (that class is now a thin compatibility shim over a
+    registry).
+:mod:`repro.telemetry.tracing`
+    Span-based request/stage tracing to a JSON-lines sink.  Trace and
+    span ids come from :func:`os.urandom` — **never** from the numpy
+    generators that drive sampling — so enabling tracing cannot perturb
+    a single estimate (the determinism contract, tested in
+    ``tests/test_telemetry.py``).
+:mod:`repro.telemetry.exposition`
+    Prometheus text-format rendering of a registry snapshot, served by
+    ``GET /metrics`` on the HTTP API.
+
+The full metric catalog and span taxonomy live in
+``docs/observability.md``.
+"""
+
+from repro.telemetry.config import TelemetryConfig, build_tracer
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    exponential_boundaries,
+    histogram_quantile,
+)
+from repro.telemetry.tracing import (
+    JsonLinesSink,
+    Tracer,
+    activate,
+    current_tracer,
+    span,
+)
+from repro.telemetry.exposition import render_prometheus
+
+__all__ = [
+    "TelemetryConfig",
+    "build_tracer",
+    "MetricsRegistry",
+    "exponential_boundaries",
+    "histogram_quantile",
+    "JsonLinesSink",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "span",
+    "render_prometheus",
+]

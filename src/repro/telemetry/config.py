@@ -1,0 +1,41 @@
+"""Telemetry configuration carried on :class:`~repro.motivo.MotivoConfig`.
+
+A tiny picklable dataclass: it rides inside ``MotivoConfig`` through
+the process-pool engine's ``initargs`` and the sharded build's worker
+initializer, so per-worker counters and spans land in the same places
+the parent's do.  Deliberately **excluded** from the build-parameter
+fields that address the artifact cache — telemetry never changes a
+table's bytes, so it must never change a cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.telemetry.tracing import JsonLinesSink, Tracer
+
+__all__ = ["TelemetryConfig", "build_tracer"]
+
+
+@dataclass
+class TelemetryConfig:
+    """Observability knobs for one pipeline.
+
+    Attributes
+    ----------
+    trace_out:
+        Path of a JSON-lines span sink (the CLI's ``--trace-out``).
+        ``None`` disables tracing; build/sample stage spans are then
+        shared no-ops (near-zero cost, measured by
+        ``benchmarks/bench_observability.py``).
+    """
+
+    trace_out: Optional[str] = None
+
+
+def build_tracer(config: Optional[TelemetryConfig]) -> Optional[Tracer]:
+    """The tracer a telemetry config asks for, or ``None``."""
+    if config is None or not config.trace_out:
+        return None
+    return Tracer(JsonLinesSink(config.trace_out))

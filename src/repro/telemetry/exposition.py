@@ -1,0 +1,95 @@
+"""Prometheus text-format (0.0.4) rendering of a registry snapshot.
+
+One function: :func:`render_prometheus` turns the flat snapshot dict of
+a :class:`~repro.telemetry.metrics.MetricsRegistry` into the exposition
+body ``GET /metrics`` serves.  Mapping:
+
+* ``count.<name>``  → ``motivo_<name>_total`` (counter)
+* ``time.<name>``   → ``motivo_<name>_seconds_total`` (counter)
+* ``gauge.<name>``  → ``motivo_<name>`` (gauge)
+* ``hist.<name>``   → ``motivo_<name>_bucket{le="..."}`` (cumulative),
+  ``motivo_<name>_sum``, ``motivo_<name>_count`` (histogram)
+
+Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and families
+are emitted in sorted order, so the body is stable for snapshot tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["render_prometheus", "sanitize_metric_name"]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal metric name into a legal Prometheus name."""
+    name = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(name):
+        name = f"_{name}"
+    return name
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_le(bound: float) -> str:
+    # Prometheus convention: bucket bounds render as shortest floats.
+    return _format_value(bound) if bound == int(bound) else repr(bound)
+
+
+def render_prometheus(snapshot: dict, prefix: str = "motivo") -> str:
+    """The ``/metrics`` body for one registry snapshot."""
+    counters = {}
+    timers = {}
+    gauges = {}
+    histograms = {}
+    for key, value in snapshot.items():
+        if key.startswith("count."):
+            counters[key[len("count."):]] = value
+        elif key.startswith("time."):
+            timers[key[len("time."):]] = value
+        elif key.startswith("gauge."):
+            gauges[key[len("gauge."):]] = value
+        elif key.startswith("hist."):
+            histograms[key[len("hist."):]] = value
+
+    lines: List[str] = []
+
+    def family(name: str, kind: str) -> str:
+        full = sanitize_metric_name(f"{prefix}_{name}")
+        lines.append(f"# TYPE {full} {kind}")
+        return full
+
+    for name in sorted(counters):
+        full = family(f"{name}_total", "counter")
+        lines.append(f"{full} {_format_value(counters[name])}")
+    for name in sorted(timers):
+        full = family(f"{name}_seconds_total", "counter")
+        lines.append(f"{full} {_format_value(timers[name])}")
+    for name in sorted(gauges):
+        full = family(name, "gauge")
+        lines.append(f"{full} {_format_value(gauges[name])}")
+    for name in sorted(histograms):
+        state = histograms[name]
+        full = family(name, "histogram")
+        cumulative = 0
+        boundaries = list(state.get("le", []))
+        counts = [int(c) for c in state.get("counts", [])]
+        for bound, count in zip(boundaries, counts):
+            cumulative += count
+            lines.append(
+                f'{full}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
+            )
+        total = sum(counts)
+        lines.append(f'{full}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{full}_sum {_format_value(state.get('sum', 0.0))}")
+        lines.append(f"{full}_count {total}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,289 @@
+"""The typed metrics registry: counters, gauges, timers, histograms.
+
+One :class:`MetricsRegistry` holds every metric family behind a single
+re-entrant lock, so concurrent request threads (the serve plane) mutate
+and snapshot it safely — the read-modify-write races the old
+free-standing ``Instrumentation`` dict bag allowed are gone by
+construction.
+
+The registry keeps the snapshot/merge transport that
+:class:`~repro.util.instrument.Instrumentation` established: a snapshot
+is one flat picklable (and JSON-serializable) dict —
+
+* ``"count.<name>": float`` — monotone counters,
+* ``"time.<name>": float`` — accumulated seconds,
+* ``"gauge.<name>": float`` — last-set level values,
+* ``"hist.<name>": {"le": [...], "counts": [...], "sum": s}`` —
+  fixed-boundary histograms,
+
+and :meth:`MetricsRegistry.merge_snapshot` folds one in losslessly
+(counters/timers/histogram buckets add, gauges take the incoming
+value).  Per-worker registries from the process-pool engine and the
+sharded build therefore aggregate exactly like the old counter bags —
+histograms included, so latency quantiles survive the merge.
+
+Histograms use **fixed exponential bucket boundaries** chosen at first
+``observe``: cumulative bucket counts make p50/p99 derivable on any
+scrape (:func:`histogram_quantile`), and fixed boundaries are what
+makes cross-process merging exact.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "exponential_boundaries",
+    "histogram_quantile",
+    "DEFAULT_LATENCY_BOUNDARIES",
+]
+
+
+def exponential_boundaries(
+    start: float, factor: float, count: int
+) -> Tuple[float, ...]:
+    """``count`` exponentially growing bucket upper bounds.
+
+    ``exponential_boundaries(0.001, 2, 4)`` → 1ms, 2ms, 4ms, 8ms; an
+    implicit +Inf bucket always follows the last boundary.
+    """
+    if count < 1:
+        raise ValueError("need at least one boundary")
+    if start <= 0 or factor <= 1.0:
+        raise ValueError("boundaries must grow from a positive start")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Request-latency buckets: 1ms .. ~65s, doubling.  Wide enough that
+#: p99 of both a warm 500-sample draw and a cold multi-second build
+#: land inside a finite bucket.
+DEFAULT_LATENCY_BOUNDARIES = exponential_boundaries(0.001, 2.0, 17)
+
+
+class _Histogram:
+    """Fixed-boundary histogram: per-bucket counts plus a value sum."""
+
+    __slots__ = ("boundaries", "counts", "sum")
+
+    def __init__(self, boundaries: Sequence[float]):
+        self.boundaries: Tuple[float, ...] = tuple(
+            float(b) for b in boundaries
+        )
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise ValueError("histogram boundaries must strictly increase")
+        # One bucket per boundary plus the +Inf overflow bucket.
+        self.counts: List[int] = [0] * (len(self.boundaries) + 1)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = len(self.boundaries)
+        for i, bound in enumerate(self.boundaries):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+
+    def state(self) -> dict:
+        return {
+            "le": list(self.boundaries),
+            "counts": list(self.counts),
+            "sum": self.sum,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        if list(state.get("le", [])) != list(self.boundaries):
+            raise ValueError(
+                "cannot merge histograms with different boundaries: "
+                f"{state.get('le')} vs {list(self.boundaries)}"
+            )
+        for i, count in enumerate(state.get("counts", [])):
+            self.counts[i] += int(count)
+        self.sum += float(state.get("sum", 0.0))
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_Histogram":
+        histogram = cls(state.get("le", [1.0]))
+        histogram.counts = [int(c) for c in state.get("counts", [])]
+        if len(histogram.counts) != len(histogram.boundaries) + 1:
+            histogram.counts = [0] * (len(histogram.boundaries) + 1)
+        histogram.sum = float(state.get("sum", 0.0))
+        return histogram
+
+
+def histogram_quantile(state: dict, q: float) -> float:
+    """Estimate the q-quantile (0..1) from a histogram snapshot state.
+
+    Standard Prometheus-style estimation: find the bucket where the
+    cumulative count crosses ``q * total`` and interpolate linearly
+    inside it.  The +Inf bucket reports its lower boundary (the largest
+    finite one) — the honest answer bucketed data can give.
+    """
+    boundaries = list(state.get("le", []))
+    counts = [int(c) for c in state.get("counts", [])]
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            if i >= len(boundaries):  # the +Inf bucket
+                return boundaries[-1] if boundaries else 0.0
+            lower = boundaries[i - 1] if i > 0 else 0.0
+            upper = boundaries[i]
+            if count == 0:
+                return upper
+            return lower + (upper - lower) * (rank - previous) / count
+    return boundaries[-1] if boundaries else 0.0
+
+
+class MetricsRegistry:
+    """Every metric family of one component behind one lock.
+
+    The public mutators (:meth:`inc`, :meth:`add_time`, :meth:`timer`,
+    :meth:`set_gauge`, :meth:`observe`) are each one short critical
+    section; :meth:`snapshot` returns a consistent picklable copy.  The
+    lock is re-entrant and exposed (:attr:`lock`) so compound
+    read-modify-write sequences — and the ``Instrumentation`` shim's
+    mapping views — can extend the critical section.
+    """
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self._counters: Dict[str, float] = {}
+        self._timers: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+
+    # -- mutation ------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self.lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` under timer ``name``."""
+        with self.lock:
+            self._timers[name] = self._timers.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the enclosed block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self.lock:
+            self._gauges[name] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BOUNDARIES,
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        The histogram's boundaries are fixed by the first call; later
+        calls ignore the argument (fixed boundaries are what keeps
+        cross-process merges exact).
+        """
+        with self.lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = _Histogram(boundaries)
+                self._histograms[name] = histogram
+            histogram.observe(value)
+
+    # -- reads ---------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        with self.lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float:
+        with self.lock:
+            return self._gauges.get(name, 0.0)
+
+    def timer_value(self, name: str) -> float:
+        with self.lock:
+            return self._timers.get(name, 0.0)
+
+    def histogram_state(self, name: str) -> Optional[dict]:
+        with self.lock:
+            histogram = self._histograms.get(name)
+            return None if histogram is None else histogram.state()
+
+    # -- transport -----------------------------------------------------
+
+    def snapshot(self) -> "dict[str, object]":
+        """A consistent, picklable, JSON-serializable flat copy."""
+        with self.lock:
+            out: "dict[str, object]" = {}
+            for name, value in self._counters.items():
+                out[f"count.{name}"] = float(value)
+            for name, value in self._timers.items():
+                out[f"time.{name}"] = float(value)
+            for name, value in self._gauges.items():
+                out[f"gauge.{name}"] = float(value)
+            for name, histogram in self._histograms.items():
+                out[f"hist.{name}"] = histogram.state()
+            return out
+
+    def merge_snapshot(self, snapshot: "dict[str, object]") -> None:
+        """Fold one snapshot in (counters/timers/buckets add)."""
+        with self.lock:
+            for key, value in snapshot.items():
+                if key.startswith("count."):
+                    name = key[len("count."):]
+                    self._counters[name] = (
+                        self._counters.get(name, 0) + float(value)
+                    )
+                elif key.startswith("time."):
+                    name = key[len("time."):]
+                    self._timers[name] = (
+                        self._timers.get(name, 0.0) + float(value)
+                    )
+                elif key.startswith("gauge."):
+                    self._gauges[key[len("gauge."):]] = float(value)
+                elif key.startswith("hist."):
+                    name = key[len("hist."):]
+                    histogram = self._histograms.get(name)
+                    if histogram is None:
+                        self._histograms[name] = _Histogram.from_state(
+                            dict(value)
+                        )
+                    else:
+                        histogram.merge_state(dict(value))
+
+    def reset(self) -> None:
+        """Zero every family."""
+        with self.lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- pickling ------------------------------------------------------
+    # Registries normally cross process boundaries as snapshots, but a
+    # registry reachable from pickled state (e.g. a config held object)
+    # must not drag an unpicklable lock along.
+
+    def __getstate__(self) -> dict:
+        return {"snapshot": self.snapshot()}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        self.merge_snapshot(state.get("snapshot", {}))

@@ -1,0 +1,235 @@
+"""Span-based tracing with ids from a dedicated non-RNG source.
+
+A :class:`Tracer` hands out nested spans per thread; each finished span
+is one JSON object appended to a :class:`JsonLinesSink` —
+
+``{"trace": ..., "span": ..., "parent": ..., "name": ...,
+"start": <unix seconds>, "dur_ms": ..., "attrs": {...}}``
+
+**Determinism contract.**  Trace and span ids come from
+:func:`os.urandom`, never from a numpy generator: the sampling plane's
+master-seed streams are untouched whether tracing is on or off, so
+estimates (and post-run RNG states) are bit-identical either way.  This
+is pinned by ``tests/test_telemetry.py``.
+
+**Disabled cost.**  Stage code calls the module-level :func:`span`
+helper; with no tracer activated it returns a shared no-op context
+manager after one thread-local read — measured by
+``benchmarks/bench_observability.py``.
+
+Worker processes (the ensemble engine, sharded shard tasks) build their
+own tracer from the config's ``trace_out`` path; the sink appends with
+``O_APPEND`` single writes, so concurrent writers interleave whole
+lines, never bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "JsonLinesSink",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "span",
+    "new_trace_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id — entropy from the OS, never numpy."""
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+class JsonLinesSink:
+    """Appends one JSON object per finished span to a file.
+
+    Opened with ``O_APPEND`` and written with single ``os.write`` calls,
+    so spans from concurrent threads and worker processes land as whole
+    lines.  Lazily opened; safe to construct for a path that does not
+    exist yet.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fd: Optional[int] = None
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            if self._fd is None:
+                self._fd = os.open(
+                    self.path,
+                    os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                    0o644,
+                )
+            os.write(self._fd, line)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Span:
+    """One live span (a context manager); emitted to the sink on exit."""
+
+    __slots__ = (
+        "tracer", "name", "attrs", "trace_id", "span_id", "parent_id",
+        "_start_wall", "_start",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict,
+        trace_id: Optional[str],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = trace_id
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+
+    def set_attr(self, name: str, value) -> None:
+        """Attach an attribute discovered mid-span."""
+        self.attrs[name] = value
+
+    def __enter__(self) -> "_Span":
+        stack = self.tracer._stack()
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            if self.trace_id is None:
+                self.trace_id = parent.trace_id
+        elif self.trace_id is None:
+            self.trace_id = new_trace_id()
+        self.span_id = _new_span_id()
+        stack.append(self)
+        self._start_wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self._start_wall, 6),
+            "dur_ms": round(duration * 1000.0, 3),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self.tracer.sink.write(record)
+        return False
+
+
+class _NoopSpan:
+    """The shared do-nothing span the disabled path hands out."""
+
+    __slots__ = ()
+
+    def set_attr(self, name: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Per-thread nested spans feeding one sink."""
+
+    def __init__(self, sink: JsonLinesSink):
+        self.sink = sink
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, trace_id: Optional[str] = None, **attrs):
+        """A nested span; ``trace_id`` seeds a root span's trace (e.g.
+        from an inbound ``X-Trace-Id`` header)."""
+        return _Span(self, name, attrs, trace_id)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+# -- the ambient tracer -------------------------------------------------
+#
+# Stage code (build-up, descent, classify) is far from where a tracer is
+# configured, so the tracer travels as per-thread ambient state: the
+# facade/service activates it around a unit of work and the stages call
+# the module-level span() helper.
+
+_ACTIVE = threading.local()
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer activated on this thread, if any."""
+    return getattr(_ACTIVE, "tracer", None)
+
+
+@contextmanager
+def activate(tracer: Optional[Tracer]) -> Iterator[None]:
+    """Make ``tracer`` ambient on this thread for the enclosed block.
+
+    ``None`` deactivates (useful to shield a block from an outer
+    tracer).  Always restores the previous tracer on exit.
+    """
+    previous = getattr(_ACTIVE, "tracer", None)
+    _ACTIVE.tracer = tracer
+    try:
+        yield
+    finally:
+        _ACTIVE.tracer = previous
+
+
+def span(name: str, **attrs):
+    """A span on the ambient tracer — or the shared no-op when none.
+
+    The disabled path is one thread-local read plus returning a
+    singleton; stage code can therefore call this unconditionally on
+    per-batch paths.
+    """
+    tracer = getattr(_ACTIVE, "tracer", None)
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)

@@ -771,14 +771,14 @@ class TestCli:
             "build", edge_list, "--k", "4", "--seed", "11",
             "--output", str(tmp_path / "art"),
         ]) == 0
-        out = capsys.readouterr().out
-        assert "table artifact" in out
-        assert "bits/pair" in out
+        err = capsys.readouterr().err
+        assert "table artifact" in err
+        assert "bits/pair" in err
         assert main([
             "sample", str(tmp_path / "art"), "--samples", "400",
             "--output", str(warm),
         ]) == 0
-        assert "no rebuild" in capsys.readouterr().out
+        assert "no rebuild" in capsys.readouterr().err
         a = GraphletEstimates.from_json(one_shot.read_text())
         b = GraphletEstimates.from_json(warm.read_text())
         assert a.counts == b.counts
@@ -791,9 +791,9 @@ class TestCli:
             "build", edge_list, "--k", "4", "--seed", "3",
             "--colorings", "3", "--codec", "succinct", "--output", art,
         ]) == 0
-        assert "ensemble artifact: 3/3" in capsys.readouterr().out
+        assert "ensemble artifact: 3/3" in capsys.readouterr().err
         assert main(["sample", art, "--samples", "200"]) == 0
-        assert "sampled ensemble artifact" in capsys.readouterr().out
+        assert "sampled ensemble artifact" in capsys.readouterr().err
 
     def test_sample_ags_flag(self, edge_list, tmp_path, capsys):
         from repro.cli import main
@@ -806,7 +806,7 @@ class TestCli:
             "sample", art, "--ags", "--samples", "200",
             "--cover-threshold", "50",
         ]) == 0
-        assert "ags samples" in capsys.readouterr().out
+        assert "ags samples" in capsys.readouterr().err
 
     def test_sample_uses_recorded_source(self, edge_list, tmp_path):
         """No --graph needed: the manifest's source hint is enough."""

@@ -30,7 +30,8 @@ class TestGenerate:
         assert main(["generate", "lollipop", str(out)]) == 0
         graph = load_edge_list(out)
         assert graph.num_edges > 0
-        assert "wrote lollipop" in capsys.readouterr().out
+        # Notice lines log to stderr; results stay on stdout.
+        assert "wrote lollipop" in capsys.readouterr().err
 
     def test_writes_binary(self, tmp_path):
         out = tmp_path / "lollipop.npz"
@@ -69,18 +70,18 @@ class TestCount:
             "count", "lollipop", "--k", "4",
             "--samples", "400", "--seed", "1",
         ]) == 0
-        out = capsys.readouterr().out
-        assert "build-up" in out
-        assert "naive sampling" in out
-        assert "graphlet" in out
+        captured = capsys.readouterr()
+        # Progress lines log to stderr, the estimate table to stdout.
+        assert "build-up" in captured.err
+        assert "naive sampling" in captured.err
+        assert "graphlet" in captured.out
 
     def test_end_to_end_ags(self, capsys):
         assert main([
             "count", "lollipop", "--k", "4", "--ags",
             "--samples", "400", "--cover-threshold", "50", "--seed", "2",
         ]) == 0
-        out = capsys.readouterr().out
-        assert "AGS" in out
+        assert "AGS" in capsys.readouterr().err
 
     def test_biased_and_no_zero_rooting(self, capsys):
         assert main([
@@ -156,7 +157,7 @@ class TestErrors:
             "--seed", "3", "--output", str(out),
         ])
         assert status == 0
-        assert "empty urn" in capsys.readouterr().out
+        assert "empty urn" in capsys.readouterr().err
         from repro.sampling.estimates import GraphletEstimates
 
         restored = GraphletEstimates.from_json(out.read_text())
@@ -178,3 +179,76 @@ class TestJsonOutput:
         assert restored.k == 4
         assert restored.samples == 200
         assert restored.total > 0
+
+
+class TestTelemetryFlags:
+    def test_count_writes_stats_and_trace(self, tmp_path, capsys):
+        stats = tmp_path / "stats.json"
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "count", "lollipop", "--k", "4",
+            "--samples", "200", "--seed", "21",
+            "--stats-out", str(stats), "--trace-out", str(trace),
+        ]) == 0
+        import json
+
+        snapshot = json.loads(stats.read_text())
+        assert any(key.startswith("count.") for key in snapshot)
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        }
+        assert "buildup" in names
+
+    def test_stats_pretty_prints_snapshot(self, tmp_path, capsys):
+        stats = tmp_path / "stats.json"
+        assert main([
+            "count", "lollipop", "--k", "4",
+            "--samples", "200", "--seed", "22",
+            "--stats-out", str(stats),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(stats)]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "timers (total seconds):" in out
+
+    def test_stats_pretty_prints_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "count", "lollipop", "--k", "4",
+            "--samples", "200", "--seed", "23",
+            "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "spans in" in out
+        assert "buildup" in out
+
+    def test_stats_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not json at all\n")
+        assert main(["stats", str(bad)]) == 1
+        assert "neither" in capsys.readouterr().err
+
+    def test_log_level_silences_notices(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert main([
+            "--log-level", "warning", "generate", "lollipop", str(out),
+        ]) == 0
+        assert "wrote lollipop" not in capsys.readouterr().err
+
+    def test_log_json_emits_json_lines(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "g.txt"
+        assert main([
+            "--log-json", "generate", "lollipop", str(out),
+        ]) == 0
+        err_lines = [
+            line for line in capsys.readouterr().err.splitlines() if line
+        ]
+        records = [json.loads(line) for line in err_lines]
+        assert any("wrote lollipop" in r["message"] for r in records)
+        assert all(r["level"] == "info" for r in records)

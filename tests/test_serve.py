@@ -466,6 +466,54 @@ class TestHTTP:
         with urllib.request.urlopen(self._url(server, "/healthz")):
             pass  # server still alive after errors
 
+    def test_metrics_endpoint_serves_prometheus_text(self, server):
+        self._post(server, "/count", {"samples": 200, "session": "m",
+                                      "seed": 4})
+        request = urllib.request.Request(self._url(server, "/metrics"))
+        with urllib.request.urlopen(request) as response:
+            content_type = response.headers.get("Content-Type")
+            body = response.read().decode("utf-8")
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE motivo_serve_requests_total counter" in body
+        assert "# TYPE motivo_serve_request_seconds histogram" in body
+        assert 'motivo_serve_request_seconds_bucket{le="' in body
+        assert 'motivo_serve_request_seconds_bucket{le="+Inf"}' in body
+        assert "motivo_serve_request_seconds_count" in body
+        assert "motivo_serve_open_tables 1" in body
+        # Every non-comment line parses as `name[{labels}] value`.
+        import re
+
+        line_ok = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [0-9.eE+-]+$'
+        )
+        for line in body.splitlines():
+            if not line.startswith("# TYPE "):
+                assert line_ok.match(line), line
+
+    def test_every_route_echoes_a_trace_id(self, server):
+        for path in ("/healthz", "/metrics", "/artifacts"):
+            with urllib.request.urlopen(self._url(server, path)) as resp:
+                assert resp.headers.get("X-Trace-Id"), path
+        # Errors carry one too.
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(self._url(server, "/nope"))
+        assert info.value.headers.get("X-Trace-Id")
+
+    def test_inbound_trace_id_honored_and_sanitized(self, server):
+        request = urllib.request.Request(
+            self._url(server, "/healthz"),
+            headers={"X-Trace-Id": "client-123"},
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.headers.get("X-Trace-Id") == "client-123"
+        request = urllib.request.Request(
+            self._url(server, "/healthz"),
+            headers={"X-Trace-Id": "bad id\twith%chars"},
+        )
+        with urllib.request.urlopen(request) as response:
+            echoed = response.headers.get("X-Trace-Id")
+        assert echoed == "bad_id_with_chars"
+
     def test_concurrent_http_sessions_bit_identical(
         self, host, cache_root, server
     ):
@@ -496,3 +544,75 @@ class TestHTTP:
             )
             expected = json.loads(ref.to_json())["counts"]
             assert results[index]["counts"] == expected, index
+
+
+class TestTelemetryNameStability:
+    """Dashboards and alerts key on these names: renaming a metric or a
+    healthz field must break this test before it breaks a dashboard."""
+
+    def test_healthz_document_keys_pinned(self, service):
+        service.count(samples=200, session="pin", seed=1)
+        health = service.healthz()
+        assert sorted(health) == [
+            "bytes_on_disk",
+            "coalesced_batches",
+            "coalesced_draws",
+            "open_tables",
+            "requests",
+            "samples",
+            "sampling",
+            "sessions",
+            "status",
+            "uptime_seconds",
+        ]
+        assert sorted(health["sampling"]) == [
+            "budget_fallbacks",
+            "classified",
+            "classify_cache_hits",
+            "classify_seconds",
+            "descent_seconds",
+            "gather_builds",
+            "gather_seconds",
+            "plan_compile_seconds",
+            "plan_compiles",
+            "transient_builds",
+        ]
+
+    def test_metrics_families_pinned(self, service):
+        service.count(samples=200, session="pin2", seed=2)
+        body = service.metrics_text()
+        families = {
+            line.split()[3]
+            for line in body.splitlines()
+            if line.startswith("# TYPE ")
+        }
+        families_named = {
+            line.split()[2]
+            for line in body.splitlines()
+            if line.startswith("# TYPE ")
+        }
+        assert families <= {"counter", "gauge", "histogram"}
+        # The serving plane's contract families must always be present.
+        expected = {
+            "motivo_serve_requests_total",
+            "motivo_serve_samples_total",
+            "motivo_serve_tables_opened_total",
+            "motivo_serve_request_seconds",
+            "motivo_serve_open_tables",
+            "motivo_serve_sessions",
+            "motivo_serve_uptime_seconds",
+            "motivo_artifact_cache_bytes",
+        }
+        missing = expected - families_named
+        assert not missing, f"missing metric families: {sorted(missing)}"
+
+    def test_request_latency_quantiles_derivable(self, service):
+        from repro.telemetry import histogram_quantile
+
+        for index in range(3):
+            service.count(samples=100, session=f"q{index}", seed=index)
+        state = service.registry.histogram_state("serve_request_seconds")
+        assert sum(state["counts"]) == 3
+        p50 = histogram_quantile(state, 0.5)
+        p99 = histogram_quantile(state, 0.99)
+        assert 0 < p50 <= p99
