@@ -13,8 +13,6 @@ pytest.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.colorcoding.buildup import build_table
@@ -22,7 +20,14 @@ from repro.colorcoding.coloring import ColoringScheme
 from repro.graph.generators import erdos_renyi
 from repro.treelets.registry import TreeletRegistry
 
-from common import emit, emit_json, format_table
+from common import (
+    best_epoch,
+    emit,
+    emit_json,
+    epoch_speedup,
+    format_table,
+    interleaved_epochs,
+)
 
 #: The fig3 build-up workload: G(n, m) with avg degree 10, k=6.
 N_VERTICES = 2000
@@ -38,15 +43,9 @@ def run_kernel_comparison(
 ) -> dict:
     """Interleaved timing of both kernels; returns the JSON payload.
 
-    The box this runs on throttles unpredictably (shared tenancy), so the
-    protocol is noise-hardened twice over: kernels alternate within a
-    round, so both see the same machine state and the per-epoch *median*
-    ratio is meaningful, and rounds are grouped into epochs — the
-    reported figure is the best per-epoch median ratio, i.e. the
-    capability estimate under the least interference, exactly the logic
-    of taking the min over repetitions lifted one level up (interference
+    The shared :func:`common.interleaved_epochs` protocol — interference
     hits the memory-bound batched kernel harder than the loop-bound
-    legacy one, so noisy epochs only understate the ratio).  Epochs stop
+    legacy one, so noisy epochs only understate the ratio.  Epochs stop
     early once the target is reached; every epoch is recorded in the
     payload.
     """
@@ -63,28 +62,21 @@ def run_kernel_comparison(
         assert batched.layer(h).keys == legacy.layer(h).keys
         assert np.array_equal(batched.layer(h).counts, legacy.layer(h).counts)
 
-    epoch_stats = []
-    for _ in range(max_epochs):
-        times = {"batched": [], "legacy": []}
-        for _ in range(rounds):
-            for kernel in ("batched", "legacy"):
-                start = time.perf_counter()
-                build_table(graph, coloring, registry=registry, kernel=kernel)
-                times[kernel].append(time.perf_counter() - start)
-        epoch_stats.append(
-            {
-                "legacy": min(times["legacy"]),
-                "batched": min(times["batched"]),
-                "legacy_median": float(np.median(times["legacy"])),
-                "batched_median": float(np.median(times["batched"])),
-            }
-        )
-        best = max(
-            epoch_stats,
-            key=lambda e: e["legacy_median"] / e["batched_median"],
-        )
-        if best["legacy_median"] / best["batched_median"] >= TARGET_SPEEDUP:
-            break
+    def _kernel_arm(kernel):
+        def run(_tick):
+            build_table(graph, coloring, registry=registry, kernel=kernel)
+        return run
+
+    epoch_stats = interleaved_epochs(
+        [("batched", _kernel_arm("batched")),
+         ("legacy", _kernel_arm("legacy"))],
+        rounds=rounds,
+        max_epochs=max_epochs,
+        stop=lambda stats: epoch_speedup(
+            best_epoch(stats, "legacy", "batched"), "legacy", "batched"
+        ) >= TARGET_SPEEDUP,
+    )
+    best = best_epoch(epoch_stats, "legacy", "batched")
     return {
         "workload": {
             "graph": f"G(n={N_VERTICES}, m={N_EDGES})",
@@ -93,9 +85,10 @@ def run_kernel_comparison(
             "rounds": rounds,
             "epochs": len(epoch_stats),
             "protocol": (
-                "interleaved rounds; epochs until target; reported epoch "
-                "= best per-epoch median ratio (capability estimate, "
-                "min-over-reps lifted to epochs; all epochs recorded)"
+                "interleaved rounds (rotating start); epochs until "
+                "target; reported epoch = best per-epoch median ratio "
+                "(capability estimate, min-over-reps lifted to epochs; "
+                "all epochs recorded)"
             ),
         },
         "old_kernel_seconds": best["legacy_median"],

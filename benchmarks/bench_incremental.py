@@ -1,0 +1,466 @@
+"""Incremental-maintenance trajectory: delta updates vs rebuild-per-update.
+
+Before this subsystem, any edge change invalidated the graph fingerprint
+and forced a full color-coding rebuild.  ``MotivoCounter.update`` instead
+maintains the count table as a materialized view of the Equation (1)
+dynamic program: a batch of edge insertions/deletions re-runs the batched
+combination plans only on the touched-column frontier (ball of radius
+``h - 2`` around the updated endpoints, per level), and the sampling
+plane follows suit — the urn keeps its compiled descent program and its
+gathered-cumulative store across the update (stale rows stay bit-exact
+for vertices outside the dirty neighborhood because the kernel only ever
+reads them relatively; dirty vertices take an exact live path).  The
+result is bit-identical to a fresh rebuild on the updated graph under
+the same coloring.
+
+Three workloads:
+
+* **er_trickle** (the headline) — a sparse ER graph at ``k = 7``
+  (``n = 50000, m = 125000``, average degree 5).  This is the regime the
+  subsystem is built for: the radius-``(k-2)`` frontier ball is a few
+  thousand vertices out of fifty thousand, so a single-edge update
+  touches a sliver of the table while a rebuild re-runs the whole
+  ``k = 7`` dynamic program and re-warms every sampling cache.
+* **fig3** — the ER graph the sampling benches use (``G(2000, 10000)``,
+  degree 10, ``k = 6``).  Honest saturation case: at this size the
+  frontier ball covers most of the graph, so the delta cannot beat the
+  (very fast) batched rebuild — the measured ~1x is reported, not
+  hidden.
+* **powerlaw** — a Chung-Lu heavy-tail graph (exponent 2.2) at the
+  headline's size and ``k``.  Honest hub case: one hub in the frontier
+  drags in its whole neighborhood, the ball saturates, and the
+  incremental path loses outright.
+
+For each workload a **trickle** of single-edge updates is timed under the
+shared interleaved protocol (``benchmarks/common.py``): per round the
+*incremental* arm applies one edge update to a live counter and requeries
+(``update`` + ``sample_naive``), and the *rebuild* arm — the
+pre-subsystem behavior — rebuilds the table from scratch on the updated
+graph and requeries.  Both arms toggle the same edge in lockstep
+(insert, then delete, then insert...), so the graph sequence, and hence
+the work, is identical; the reported figure is the best per-epoch median
+ratio.  The acceptance bar is **≥ 10x** single-edge on the headline
+workload (``payload["speedup"]``); fig3 and powerlaw are reported as-is.
+
+Before any timing, bit-identity is asserted per workload: after an
+update batch, the maintained table's full digest (layer keys + counts),
+the counter's **post-update master RNG state**, the naive estimates
+drawn next, and the post-draw RNG state all equal those of a counter
+freshly built on the updated graph with the same seed.
+
+A **batch-size curve** (on the headline workload) then scales the batch
+toward the whole graph: as the touched frontier saturates the vertex
+set, the incremental path degrades toward (and honestly past) rebuild
+cost — the crossover is recorded, not hidden.  Results land as
+``BENCH_INCREMENTAL.json`` at the repository root plus the usual text
+table under ``benchmarks/results/``.
+
+Run directly (``python benchmarks/bench_incremental.py``).  ``--quick``
+shrinks the headline workload for the CI ``incremental-smoke`` job: the
+bit-identity gates are unchanged, only the timing protocol is shortened
+and the speedup floor is noise-padded (writes
+``BENCH_INCREMENTAL_quick`` under ``benchmarks/results/`` so the tracked
+trajectory file is untouched).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+
+import numpy as np
+
+from repro.graph.generators import erdos_renyi
+from repro.graph.graph import Graph
+from repro.motivo import MotivoConfig, MotivoCounter
+
+from common import (
+    best_epoch,
+    emit,
+    emit_json,
+    epoch_speedup,
+    format_table,
+    interleaved_epochs,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tests"))
+from support.graphgen import powerlaw_edges  # noqa: E402
+
+SEED = 7
+PL_EXPONENT = 2.2
+PL_SEED = 9
+
+#: Headline workload: sparse ER at k=7 — frontier ball of a few thousand
+#: vertices against a fifty-thousand-vertex rebuild.
+HEAD_N = 50_000
+HEAD_M = 125_000
+HEAD_K = 7
+#: fig3 saturation workload (degree 10 at k=6, the sampling benches' G).
+FIG3_N = 2000
+FIG3_M = 10_000
+FIG3_K = 6
+#: Quick (CI) headline: same degree-4 sparse regime, small enough for a
+#: smoke job.
+QUICK_N = 16_000
+QUICK_M = 32_000
+
+#: Both arms share this config: the gathered-row budget must hold the
+#: k=7 program's full key set, or budget-fallback churn (identical in
+#: both arms) dominates the comparison.
+DESCENT_CACHE_BYTES = 1_500_000_000
+
+SAMPLES_PER_REQUERY = 64
+ROUNDS = 2
+MAX_EPOCHS = 4
+MIN_EPOCHS = 2
+TARGET_SPEEDUP = 10.0
+QUICK_TARGET_SPEEDUP = 2.0
+#: Batch sizes for the honest degradation curve (headline workload); the
+#: largest point churns over 1.5% of the edge count in one batch — far
+#: past the dirty-neighborhood threshold where the sampling-plane caches
+#: flush.
+CURVE_BATCH_SIZES = (1, 8, 64, 512, 2048)
+
+
+def _config(k: int) -> MotivoConfig:
+    return MotivoConfig(
+        k=k, seed=SEED, descent_cache_bytes=DESCENT_CACHE_BYTES
+    )
+
+
+def _er_graph(n: int, m: int) -> Graph:
+    return erdos_renyi(n, m, rng=31)
+
+
+def _powerlaw_graph(n: int, m: int) -> Graph:
+    edges = powerlaw_edges(n, m, exponent=PL_EXPONENT, seed=PL_SEED)
+    return Graph.from_edges(edges, n=n)
+
+
+def _pick_absent_edges(graph: Graph, count: int, seed: int) -> list:
+    """``count`` distinct ``u < v`` non-edges, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    chosen, seen = [], set()
+    while len(chosen) < count:
+        need = count - len(chosen)
+        us = rng.integers(0, n, size=4 * need + 16)
+        vs = rng.integers(0, n, size=us.size)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            a, b = (u, v) if u < v else (v, u)
+            if (a, b) in seen or graph.has_edge(a, b):
+                continue
+            seen.add((a, b))
+            chosen.append((a, b))
+            if len(chosen) == count:
+                break
+    return chosen
+
+
+def _table_digest(table, k: int) -> str:
+    """Full content digest: every layer's key list and count bytes."""
+    digest = hashlib.sha256()
+    for h in range(1, k + 1):
+        layer = table.layer(h)
+        digest.update(np.int64(h).tobytes())
+        digest.update(repr(layer.keys).encode("utf-8"))
+        digest.update(
+            np.ascontiguousarray(
+                layer.dense_counts(), dtype=np.float64
+            ).tobytes()
+        )
+    return "sha256:" + digest.hexdigest()
+
+
+def _assert_bit_identity(graph: Graph, batch: list, k: int) -> dict:
+    """Delta-maintained state must equal a fresh rebuild, bit for bit.
+
+    Checked in dependency order: table digest, post-update master RNG
+    state, the naive estimates both counters draw next, and the
+    post-draw RNG state (the update consumed zero generator draws).
+    """
+    updates = [("+", u, v) for u, v in batch]
+    inc = MotivoCounter(graph, _config(k))
+    inc.build()
+    stats = inc.update(updates)
+    assert stats["mode"] == "incremental", stats
+    assert stats["updates_applied"] == len(batch), stats
+
+    fresh = MotivoCounter(inc.graph, _config(k))
+    fresh.build()
+    inc_digest = _table_digest(inc.table, k)
+    assert inc_digest == _table_digest(fresh.table, k), (
+        "delta-maintained table differs from fresh rebuild"
+    )
+    assert (
+        inc._rng.bit_generator.state == fresh._rng.bit_generator.state
+    ), "update consumed master RNG draws"
+    inc_est = inc.sample_naive(SAMPLES_PER_REQUERY)
+    fresh_est = fresh.sample_naive(SAMPLES_PER_REQUERY)
+    assert inc_est.counts == fresh_est.counts
+    assert inc_est.hits == fresh_est.hits
+    assert (
+        inc._rng.bit_generator.state == fresh._rng.bit_generator.state
+    ), "post-requery RNG states diverged"
+    inc.close()
+    fresh.close()
+    return {
+        "bit_identical": True,
+        "rng_state_identical": True,
+        "table_digest": inc_digest,
+        "rows_touched": stats["rows_touched"],
+        "touched_vertices": stats["touched_vertices"],
+    }
+
+
+def _trickle_comparison(
+    graph: Graph,
+    batch: list,
+    k: int,
+    rounds: int,
+    max_epochs: int,
+    min_epochs: int,
+    target_speedup: float,
+) -> dict:
+    """Interleaved update-and-requery vs rebuild-per-update timing.
+
+    Both arms toggle the same edge batch in lockstep — the incremental
+    counter inserts then deletes it on alternating calls, the rebuild
+    arm builds from scratch on the matching graph state — so every
+    round compares identical work.  ``interleaved_epochs``'s warm-up
+    runs both arms once untimed, which keeps the toggles aligned.
+    """
+    add_batch = [("+", u, v) for u, v in batch]
+    remove_batch = [("-", u, v) for u, v in batch]
+    inc = MotivoCounter(graph, _config(k))
+    inc.build()
+    inc.sample_naive(SAMPLES_PER_REQUERY)
+    plus_graph, _ = graph.apply_updates(add_batch)
+    state = {"inc_present": False, "re_present": False}
+    rows_touched: list = []
+
+    def _incremental_arm(_tick):
+        updates = remove_batch if state["inc_present"] else add_batch
+        state["inc_present"] = not state["inc_present"]
+        stats = inc.update(updates)
+        rows_touched.append(stats["rows_touched"])
+        inc.sample_naive(SAMPLES_PER_REQUERY)
+
+    def _rebuild_arm(_tick):
+        target = graph if state["re_present"] else plus_graph
+        state["re_present"] = not state["re_present"]
+        counter = MotivoCounter(target, _config(k))
+        counter.build()
+        counter.sample_naive(SAMPLES_PER_REQUERY)
+        counter.close()
+
+    epoch_stats = interleaved_epochs(
+        [("incremental", _incremental_arm), ("rebuild", _rebuild_arm)],
+        rounds=rounds,
+        max_epochs=max_epochs,
+        min_epochs=min_epochs,
+        warmup=1,
+        stop=lambda stats: epoch_speedup(
+            best_epoch(stats, "rebuild", "incremental"),
+            "rebuild", "incremental",
+        ) >= target_speedup,
+    )
+    inc.close()
+    best = best_epoch(epoch_stats, "rebuild", "incremental")
+    return {
+        "batch_size": len(batch),
+        "rebuild_seconds": best["rebuild_median"],
+        "incremental_seconds": best["incremental_median"],
+        "speedup": best["rebuild_median"] / best["incremental_median"],
+        "rows_touched_per_update": float(np.median(rows_touched)),
+        "frontier_fraction": float(
+            np.median(rows_touched) / graph.num_vertices
+        ),
+        "epochs": len(epoch_stats),
+        "all_epochs": epoch_stats,
+    }
+
+
+def _workload_section(
+    graph: Graph,
+    label: str,
+    k: int,
+    rounds: int,
+    max_epochs: int,
+    min_epochs: int,
+    target_speedup: float,
+    note: str,
+) -> dict:
+    single_edge = _pick_absent_edges(graph, 1, seed=100)
+    identity = _assert_bit_identity(graph, single_edge, k)
+    trickle = _trickle_comparison(
+        graph, single_edge, k, rounds, max_epochs, min_epochs,
+        target_speedup,
+    )
+    return {
+        "graph": (
+            f"{label}(n={graph.num_vertices}, m={graph.num_edges}, k={k})"
+        ),
+        "note": note,
+        "identity": identity,
+        "single_edge": trickle,
+    }
+
+
+def run_incremental_comparison(
+    n: int = HEAD_N,
+    m: int = HEAD_M,
+    k: int = HEAD_K,
+    rounds: int = ROUNDS,
+    max_epochs: int = MAX_EPOCHS,
+    min_epochs: int = MIN_EPOCHS,
+    target_speedup: float = TARGET_SPEEDUP,
+    curve_batch_sizes=CURVE_BATCH_SIZES,
+    side_workloads: bool = True,
+) -> dict:
+    headline_graph = _er_graph(n, m)
+    workloads = {
+        "er_trickle": _workload_section(
+            headline_graph, "ER", k, rounds, max_epochs, min_epochs,
+            target_speedup,
+            note=(
+                "headline: sparse graph, frontier ball << n — the "
+                "regime incremental maintenance is built for"
+            ),
+        ),
+    }
+    if side_workloads:
+        workloads["fig3"] = _workload_section(
+            _er_graph(FIG3_N, FIG3_M), "G", FIG3_K, rounds, max_epochs,
+            min_epochs, float("inf"),
+            note=(
+                "honest saturation case: the frontier ball covers most "
+                "of this small dense graph, so the delta cannot beat "
+                "the batched rebuild here"
+            ),
+        )
+        workloads["powerlaw"] = _workload_section(
+            _powerlaw_graph(n, m), "PL", k, rounds, max_epochs,
+            min_epochs, float("inf"),
+            note=(
+                "honest hub case: one hub in the frontier drags in its "
+                "whole neighborhood and the incremental path loses "
+                "outright"
+            ),
+        )
+
+    # The honest degradation curve: batches growing toward whole-graph
+    # churn on the headline workload, each under a shortened protocol
+    # with no early-stop target — the crossover where frontier
+    # saturation erases the win is part of the result, not a failure.
+    curve = []
+    for size in curve_batch_sizes:
+        if size > 1:
+            _assert_bit_identity(
+                headline_graph,
+                _pick_absent_edges(headline_graph, size, seed=200 + size),
+                k,
+            )
+        point = _trickle_comparison(
+            headline_graph,
+            _pick_absent_edges(headline_graph, size, seed=200 + size),
+            k,
+            rounds=2,
+            max_epochs=1,
+            min_epochs=1,
+            target_speedup=float("inf"),
+        )
+        point.pop("all_epochs")
+        curve.append(point)
+
+    speedup = workloads["er_trickle"]["single_edge"]["speedup"]
+    return {
+        "workload": {
+            "k": k,
+            "samples_per_requery": SAMPLES_PER_REQUERY,
+            "rounds": rounds,
+            "headline_workload": "er_trickle",
+            "protocol": (
+                "per round: incremental arm (live counter, update + "
+                "requery) and rebuild arm (fresh build on the updated "
+                "graph + requery) toggle the same edge batch in "
+                "lockstep, interleaved with rotating start; epochs "
+                f"until target (but at least {min_epochs}); reported "
+                "figure = best per-epoch rebuild/incremental median "
+                "ratio; table digest, estimates, and post-update RNG "
+                "state asserted bit-identical to a fresh rebuild "
+                "before any timing; headline speedup = er_trickle "
+                "single-edge, side workloads reported as measured"
+            ),
+        },
+        "workloads": workloads,
+        "batch_curve": curve,
+        "speedup": speedup,
+        "target_speedup": target_speedup,
+        "bit_identical": all(
+            section["identity"]["bit_identical"]
+            for section in workloads.values()
+        ),
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI incremental smoke: smaller headline graph, no side "
+             "workloads, shortened timing, noise-padded speedup floor; "
+             "the bit-identity and RNG-state gates are unchanged; "
+             "writes BENCH_INCREMENTAL_quick (results dir only)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        payload = run_incremental_comparison(
+            n=QUICK_N, m=QUICK_M, rounds=2, max_epochs=3, min_epochs=1,
+            target_speedup=QUICK_TARGET_SPEEDUP,
+            curve_batch_sizes=(1, 64),
+            side_workloads=False,
+        )
+        payload["quick"] = True
+        emit_json("BENCH_INCREMENTAL_quick", payload)
+    else:
+        payload = run_incremental_comparison()
+        payload["quick"] = False
+        emit_json("BENCH_INCREMENTAL", payload, also_repo_root=True)
+
+    rows = []
+    for name, section in payload["workloads"].items():
+        trickle = section["single_edge"]
+        rows.append((
+            f"{name} single-edge",
+            f"{trickle['rebuild_seconds']:.3f}s",
+            f"{trickle['incremental_seconds'] * 1000:.1f}ms",
+            f"{trickle['speedup']:.1f}x",
+            f"{trickle['rows_touched_per_update']:.0f}",
+        ))
+    for point in payload["batch_curve"]:
+        rows.append((
+            f"curve batch={point['batch_size']}",
+            f"{point['rebuild_seconds']:.3f}s",
+            f"{point['incremental_seconds'] * 1000:.1f}ms",
+            f"{point['speedup']:.1f}x",
+            f"{point['rows_touched_per_update']:.0f}",
+        ))
+    emit(
+        "incremental_updates",
+        format_table(
+            ["workload", "rebuild", "incremental", "speedup", "rows"],
+            rows,
+        ),
+    )
+    assert payload["bit_identical"], payload
+    assert payload["speedup"] >= payload["target_speedup"], payload
+
+
+if __name__ == "__main__":
+    main()

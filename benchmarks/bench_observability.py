@@ -50,7 +50,7 @@ from repro.telemetry import JsonLinesSink, MetricsRegistry, Tracer, activate
 from repro.telemetry.tracing import NOOP_SPAN
 from repro.treelets.registry import TreeletRegistry
 
-from common import emit, emit_json, format_table
+from common import emit, emit_json, format_table, interleaved_epochs
 
 #: The fig3 sampling workload (same as bench_sampling.py).
 N_VERTICES = 2000
@@ -200,52 +200,36 @@ def run_observability_comparison(
             ("enabled", _enabled_arm),
         )
         try:
-            # Untimed warm-up: without it the first arm of the first
-            # round absorbs every cold-start cost (classifier caches,
-            # allocator growth) and the floor reads slower than the
-            # instrumented arms.
-            for _arm, runner in arms:
-                runner(9_999)
-            epoch_stats = []
-            for epoch in range(max_epochs):
-                times = {arm: [] for arm, _runner in arms}
-                for round_index in range(rounds):
-                    seed = 10_000 + epoch * rounds + round_index
-                    # Rotate which arm goes first so no arm
-                    # systematically rides (or pays for) cache state
-                    # left by another.
-                    offset = (epoch * rounds + round_index) % len(arms)
-                    for arm, runner in arms[offset:] + arms[:offset]:
-                        start = time.perf_counter()
-                        runner(seed)
-                        times[arm].append(time.perf_counter() - start)
-                medians = {
-                    arm: float(np.median(values))
-                    for arm, values in times.items()
-                }
-                epoch_stats.append(
-                    {
-                        **{f"{arm}_median": medians[arm] for arm in medians},
-                        "disabled_overhead": (
-                            medians["disabled"] / medians["bypassed"] - 1.0
-                        ),
-                        "enabled_overhead": (
-                            medians["enabled"] / medians["bypassed"] - 1.0
-                        ),
-                    }
-                )
-                best_disabled = min(
-                    e["disabled_overhead"] for e in epoch_stats
-                )
-                best_enabled = min(
-                    e["enabled_overhead"] for e in epoch_stats
-                )
-                if (
-                    epoch + 1 >= min_epochs
-                    and best_disabled <= disabled_limit
-                    and best_enabled <= enabled_limit
-                ):
-                    break
+            # interleaved_epochs handles the rotation and the untimed
+            # warm-up (without it the first arm of the first round
+            # absorbs every cold-start cost — classifier caches,
+            # allocator growth — and the floor reads slower than the
+            # instrumented arms).  Ticks map to the historical seeds:
+            # warm-up tick -1 -> 9_999, round ticks -> 10_000 + tick.
+            epoch_stats = interleaved_epochs(
+                [(arm, lambda tick, r=runner: r(10_000 + tick))
+                 for arm, runner in arms],
+                rounds=rounds,
+                max_epochs=max_epochs,
+                min_epochs=min_epochs,
+                warmup=1,
+                derive=lambda epoch: {
+                    "disabled_overhead": (
+                        epoch["disabled_median"]
+                        / epoch["bypassed_median"] - 1.0
+                    ),
+                    "enabled_overhead": (
+                        epoch["enabled_median"]
+                        / epoch["bypassed_median"] - 1.0
+                    ),
+                },
+                stop=lambda stats: (
+                    min(e["disabled_overhead"] for e in stats)
+                    <= disabled_limit
+                    and min(e["enabled_overhead"] for e in stats)
+                    <= enabled_limit
+                ),
+            )
         finally:
             tracer.close()
 

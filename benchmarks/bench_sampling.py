@@ -51,7 +51,14 @@ from repro.sampling.occurrences import GraphletClassifier
 from repro.treelets.registry import TreeletRegistry
 from repro.util.instrument import Instrumentation
 
-from common import emit, emit_json, format_table
+from common import (
+    best_epoch,
+    emit,
+    emit_json,
+    epoch_speedup,
+    format_table,
+    interleaved_epochs,
+)
 
 #: The fig3 sampling workload: G(n, m) with avg degree 10, k=6.
 N_VERTICES = 2000
@@ -171,36 +178,29 @@ def run_sampling_comparison(
     codes_batch = batch_classifier.classify_batch(batch_out[0])
     assert codes_loop == codes_batch.tolist(), "classification disagrees"
 
-    epoch_stats = []
-    for epoch in range(max_epochs):
-        times = {"batched": [], "loop": []}
-        for round_index in range(rounds):
-            seed = 10_000 + epoch * rounds + round_index
-            for path, runner, classifier in (
-                ("batched", _batched_side, batch_classifier),
-                ("loop", _loop_side, loop_classifier),
-            ):
-                start = time.perf_counter()
-                runner(urn, classifier, samples, seed)
-                times[path].append(time.perf_counter() - start)
-        epoch_stats.append(
-            {
-                "loop": min(times["loop"]),
-                "batched": min(times["batched"]),
-                "loop_median": float(np.median(times["loop"])),
-                "batched_median": float(np.median(times["batched"])),
-            }
-        )
-        best = max(
-            epoch_stats,
-            key=lambda e: e["loop_median"] / e["batched_median"],
-        )
-        if (
-            epoch + 1 >= min_epochs
-            and best["loop_median"] / best["batched_median"]
-            >= target_speedup
-        ):
-            break
+    epoch_stats = interleaved_epochs(
+        [
+            (
+                "batched",
+                lambda tick: _batched_side(
+                    urn, batch_classifier, samples, 10_000 + tick
+                ),
+            ),
+            (
+                "loop",
+                lambda tick: _loop_side(
+                    urn, loop_classifier, samples, 10_000 + tick
+                ),
+            ),
+        ],
+        rounds=rounds,
+        max_epochs=max_epochs,
+        min_epochs=min_epochs,
+        stop=lambda stats: epoch_speedup(
+            best_epoch(stats, "loop", "batched"), "loop", "batched"
+        ) >= target_speedup,
+    )
+    best = best_epoch(epoch_stats, "loop", "batched")
     plan_cache = _plan_cache_check(graph, table, coloring, urn, samples)
     return {
         "workload": {
@@ -211,7 +211,8 @@ def run_sampling_comparison(
             "rounds": rounds,
             "epochs": len(epoch_stats),
             "protocol": (
-                "interleaved rounds; epochs until target (but at least "
+                "interleaved rounds (rotating start); epochs until "
+                "target (but at least "
                 f"{min_epochs}, so warm-cache epochs are in the pool); "
                 "reported epoch = best per-epoch median ratio "
                 "(capability estimate, min-over-reps lifted to epochs; "

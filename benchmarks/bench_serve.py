@@ -41,7 +41,7 @@ from repro.graph.generators import erdos_renyi
 from repro.motivo import MotivoConfig, MotivoCounter
 from repro.serve import SamplingService
 
-from common import emit, emit_json, format_table
+from common import emit, emit_json, format_table, interleaved_epochs
 
 #: Same workload as bench_artifacts: a build worth persisting.
 N_VERTICES = 10_000
@@ -148,50 +148,63 @@ def run_serving_comparison(max_epochs: int = MAX_EPOCHS) -> dict:
         service.close()
 
         total_requests = REQUESTS
-        epoch_stats = []
-        for _ in range(max_epochs):
-            sequential_latencies: list = []
-            start = time.perf_counter()
-            _one_shot_pass(
-                graph, artifact_dir, sequential_latencies.append
-            )
-            sequential_seconds = time.perf_counter() - start
+        latencies = {"sequential": [], "served": []}
 
+        def _sequential_arm(_tick):
+            latencies["sequential"] = pass_latencies = []
+            start = time.perf_counter()
+            _one_shot_pass(graph, artifact_dir, pass_latencies.append)
+            return time.perf_counter() - start
+
+        def _served_arm(_tick):
+            # Service construction and handle warm-up stay outside the
+            # clock: the arm reports its own measured pass seconds.
             epoch_service = SamplingService(cache_root)
             epoch_service.add_graph(graph)
-            epoch_service.count(  # warm the handle outside the clock
+            epoch_service.count(
                 artifact=key, samples=SAMPLES_PER_REQUEST,
                 session="warmup", seed=0,
             )
-            served_latencies: list = []
+            latencies["served"] = pass_latencies = []
             start = time.perf_counter()
-            _served_pass(epoch_service, key, served_latencies.append)
-            served_seconds = time.perf_counter() - start
+            _served_pass(epoch_service, key, pass_latencies.append)
+            elapsed = time.perf_counter() - start
             epoch_service.close()
+            return elapsed
 
-            epoch_stats.append(
-                {
-                    "sequential_seconds": sequential_seconds,
-                    "served_seconds": served_seconds,
-                    "sequential_throughput_rps": (
-                        total_requests / sequential_seconds
-                    ),
-                    "served_throughput_rps": total_requests / served_seconds,
-                    "speedup": sequential_seconds / served_seconds,
-                    "sequential_p50_ms": float(
-                        np.percentile(sequential_latencies, 50) * 1000
-                    ),
-                    "served_p50_ms": float(
-                        np.percentile(served_latencies, 50) * 1000
-                    ),
-                    "served_p99_ms": float(
-                        np.percentile(served_latencies, 99) * 1000
-                    ),
-                }
-            )
-            best = max(epoch_stats, key=lambda e: e["speedup"])
-            if len(epoch_stats) >= 2 and best["speedup"] >= TARGET_SPEEDUP:
-                break
+        def _derive(epoch):
+            return {
+                "sequential_throughput_rps": (
+                    total_requests / epoch["sequential_median"]
+                ),
+                "served_throughput_rps": (
+                    total_requests / epoch["served_median"]
+                ),
+                "speedup": (
+                    epoch["sequential_median"] / epoch["served_median"]
+                ),
+                "sequential_p50_ms": float(
+                    np.percentile(latencies["sequential"], 50) * 1000
+                ),
+                "served_p50_ms": float(
+                    np.percentile(latencies["served"], 50) * 1000
+                ),
+                "served_p99_ms": float(
+                    np.percentile(latencies["served"], 99) * 1000
+                ),
+            }
+
+        epoch_stats = interleaved_epochs(
+            [("sequential", _sequential_arm), ("served", _served_arm)],
+            rounds=1,
+            max_epochs=max_epochs,
+            min_epochs=2,
+            derive=_derive,
+            stop=lambda stats: max(
+                e["speedup"] for e in stats
+            ) >= TARGET_SPEEDUP,
+        )
+        best = max(epoch_stats, key=lambda e: e["speedup"])
 
     return {
         "workload": {
@@ -205,7 +218,8 @@ def run_serving_comparison(max_epochs: int = MAX_EPOCHS) -> dict:
                 "per epoch: one sequential one-shot pass "
                 "(from_artifact + sample per request) and one served "
                 "pass (warm SamplingService, closed-loop worker "
-                "threads) over the same fixed-seed request stream; "
+                "threads) over the same fixed-seed request stream, "
+                "order rotating per epoch; "
                 "best per-epoch throughput ratio reported; served "
                 "responses asserted bit-identical to single-threaded "
                 "references before timing"

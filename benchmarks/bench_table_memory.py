@@ -36,8 +36,6 @@ Run directly (``python benchmarks/bench_table_memory.py``).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.colorcoding.buildup import build_table
@@ -49,7 +47,14 @@ from repro.sampling.naive import naive_estimate
 from repro.sampling.occurrences import GraphletClassifier
 from repro.treelets.registry import TreeletRegistry
 
-from common import emit, emit_json, format_table
+from common import (
+    best_epoch,
+    emit,
+    emit_json,
+    epoch_speedup,
+    format_table,
+    interleaved_epochs,
+)
 
 #: The fig3 workload: G(n, m) with avg degree 10, k=6.
 N_VERTICES = 2000
@@ -142,31 +147,24 @@ def run_table_memory_comparison(
     assert ags["dense"].estimates.counts == ags["succinct"].estimates.counts
     assert ags["dense"].estimates.hits == ags["succinct"].estimates.hits
 
-    epoch_stats = []
-    for epoch in range(max_epochs):
-        times = {"dense": [], "succinct": []}
-        for round_index in range(rounds):
-            seed = 20_000 + epoch * rounds + round_index
-            for layout in ("succinct", "dense"):
-                start = time.perf_counter()
-                _sampling_side(
-                    urns[layout], classifiers[layout], samples, seed
-                )
-                times[layout].append(time.perf_counter() - start)
-        epoch_stats.append(
-            {
-                "dense": min(times["dense"]),
-                "succinct": min(times["succinct"]),
-                "dense_median": float(np.median(times["dense"])),
-                "succinct_median": float(np.median(times["succinct"])),
-            }
-        )
-        best = min(
-            epoch_stats,
-            key=lambda e: e["succinct_median"] / e["dense_median"],
-        )
-        if best["succinct_median"] / best["dense_median"] <= MAX_SLOWDOWN:
-            break
+    def _layout_arm(layout):
+        def run(tick):
+            _sampling_side(
+                urns[layout], classifiers[layout], samples, 20_000 + tick
+            )
+        return run
+
+    # Maximizing dense/succinct minimizes the succinct/dense slowdown.
+    epoch_stats = interleaved_epochs(
+        [("succinct", _layout_arm("succinct")),
+         ("dense", _layout_arm("dense"))],
+        rounds=rounds,
+        max_epochs=max_epochs,
+        stop=lambda stats: epoch_speedup(
+            best_epoch(stats, "dense", "succinct"), "succinct", "dense"
+        ) <= MAX_SLOWDOWN,
+    )
+    best = best_epoch(epoch_stats, "dense", "succinct")
 
     memory_ratio = dense_bytes / succinct_bytes
     slowdown = best["succinct_median"] / best["dense_median"]

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -189,6 +190,126 @@ def build_with_instrumentation(
         graph, coloring, zero_rooting=zero_rooting, instrumentation=inst
     )
     return inst, table.total_pairs()
+
+
+def interleaved_epochs(
+    arms: Sequence[Tuple[str, Callable]],
+    rounds: int,
+    max_epochs: int,
+    min_epochs: int = 1,
+    stop: Optional[Callable[[List[dict]], bool]] = None,
+    rotate: bool = True,
+    warmup: int = 0,
+    reps: Optional[Dict[str, int]] = None,
+    derive: Optional[Callable[[dict], dict]] = None,
+) -> List[dict]:
+    """The shared noise-hardened timing protocol of every ``bench_*``.
+
+    The boxes these benchmarks run on throttle unpredictably (shared
+    tenancy), so raw wall-clock comparisons lie.  The protocol hardens
+    them twice over:
+
+    * **interleaving with rotation** — all arms run within each round,
+      and the starting arm rotates every round, so every arm sees the
+      same machine state on average and no arm systematically rides (or
+      pays for) cache state left by another;
+    * **epochs** — rounds group into epochs and callers report the best
+      per-epoch *median* ratio: the capability estimate under the least
+      interference, exactly the logic of taking the min over
+      repetitions lifted one level up.
+
+    Parameters
+    ----------
+    arms:
+        Ordered ``(name, runner)`` pairs.  Each runner is called as
+        ``runner(tick)`` with ``tick = epoch * rounds + round_index``
+        (derive per-round seeds as ``base + tick``).  A runner that
+        returns a float reports its *own* measured seconds (for arms
+        whose setup must stay outside the clock); otherwise the whole
+        call is timed.
+    rounds, max_epochs, min_epochs:
+        Rounds per epoch; epoch ceiling; epochs always run before
+        ``stop`` may trigger (cold-cache epochs must not decide alone).
+    stop:
+        Early-exit predicate over the epoch records so far (e.g. "best
+        epoch reached the target speedup").  ``None`` runs every epoch.
+    rotate:
+        Rotate the starting arm each round (on by default; pass False
+        to preserve a fixed ordering).
+    warmup:
+        Untimed calls per arm before the first epoch, with ticks
+        ``-1, -2, ...`` — without them the first arm of the first round
+        absorbs every cold-start cost.
+    reps:
+        Per-arm timed invocations per round (default 1 each) for
+        asymmetric costs — e.g. one cold build against three warm
+        requests.
+    derive:
+        Maps each raw epoch record to extra keys merged into it
+        (overheads, throughputs, ...), so ``stop`` and callers see them.
+
+    Returns the epoch records, one dict per epoch: ``{name}`` is the
+    arm's best (minimum) single timing, ``{name}_median`` its median,
+    plus whatever ``derive`` added.  Pick the headline epoch with
+    :func:`best_epoch`.
+    """
+    arms = list(arms)
+    reps = reps or {}
+    for index in range(warmup):
+        for _name, runner in arms:
+            runner(-1 - index)
+    epoch_stats: List[dict] = []
+    for epoch in range(max_epochs):
+        times: Dict[str, List[float]] = {name: [] for name, _ in arms}
+        for round_index in range(rounds):
+            tick = epoch * rounds + round_index
+            order = arms
+            if rotate:
+                offset = tick % len(arms)
+                order = arms[offset:] + arms[:offset]
+            for name, runner in order:
+                for _ in range(reps.get(name, 1)):
+                    start = time.perf_counter()
+                    reported = runner(tick)
+                    elapsed = time.perf_counter() - start
+                    times[name].append(
+                        float(reported)
+                        if isinstance(reported, float) else elapsed
+                    )
+        record = {
+            **{name: min(values) for name, values in times.items()},
+            **{
+                f"{name}_median": float(np.median(values))
+                for name, values in times.items()
+            },
+        }
+        if derive is not None:
+            record.update(derive(record))
+        epoch_stats.append(record)
+        if (
+            epoch + 1 >= min_epochs
+            and stop is not None
+            and stop(epoch_stats)
+        ):
+            break
+    return epoch_stats
+
+
+def best_epoch(epoch_stats: List[dict], numerator: str,
+               denominator: str) -> dict:
+    """The epoch whose ``numerator/denominator`` median ratio is largest
+    — the standard headline pick (for a slowdown bound, swap the
+    arguments: maximizing ``dense/succinct`` minimizes
+    ``succinct/dense``)."""
+    return max(
+        epoch_stats,
+        key=lambda e: e[f"{numerator}_median"] / e[f"{denominator}_median"],
+    )
+
+
+def epoch_speedup(epoch: dict, numerator: str, denominator: str) -> float:
+    """The per-epoch median ratio (the reported capability figure)."""
+    return epoch[f"{numerator}_median"] / epoch[f"{denominator}_median"]
 
 
 def format_table(headers, rows) -> str:

@@ -36,12 +36,16 @@ from repro.artifacts.ensemble import (
     save_ensemble,
 )
 from repro.artifacts.table_artifact import (
+    DELTA_FORMAT,
     FORMAT_VERSION,
     TABLE_FORMAT,
     TableArtifact,
+    compact_table,
     load_manifest,
+    load_table_delta,
     open_table,
     save_table,
+    save_table_delta,
 )
 
 __all__ = [
@@ -49,6 +53,7 @@ __all__ = [
     "CacheEntry",
     "CODECS",
     "KEY_BYTES",
+    "DELTA_FORMAT",
     "ENSEMBLE_FORMAT",
     "EnsembleArtifact",
     "open_ensemble",
@@ -56,7 +61,10 @@ __all__ = [
     "FORMAT_VERSION",
     "TABLE_FORMAT",
     "TableArtifact",
+    "compact_table",
     "load_manifest",
+    "load_table_delta",
     "open_table",
     "save_table",
+    "save_table_delta",
 ]

@@ -64,11 +64,15 @@ from repro.table.count_table import LAYOUTS, CountTable, Layer, SuccinctLayer
 from repro.util.instrument import Instrumentation
 
 __all__ = [
+    "DELTA_FORMAT",
     "FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
     "TABLE_FORMAT",
     "TableArtifact",
     "save_table",
+    "save_table_delta",
+    "load_table_delta",
+    "compact_table",
     "open_table",
     "load_manifest",
     "file_digest",
@@ -76,17 +80,24 @@ __all__ = [
 
 #: Manifest ``format`` tag of a single-table artifact.
 TABLE_FORMAT = "motivo-table-artifact"
+#: Manifest ``format`` tag of a *delta* artifact: not a table, but an
+#: edge-update batch linking a parent table artifact to the child state
+#: it produces (see :func:`save_table_delta`).
+DELTA_FORMAT = "motivo-table-delta"
 #: Current on-disk format version, the one writers stamp.  Version 2
-#: added the optional ``descent_plan`` blob; version-1 artifacts differ
-#: only by its absence, so readers accept both (the plan then recompiles
-#: on first batched draw — the old behavior).
-FORMAT_VERSION = 2
+#: added the optional ``descent_plan`` blob; version 3 adds the
+#: incremental-maintenance story — an optional ``lineage`` section on
+#: table manifests (parent-fingerprint provenance of delta-maintained
+#: tables) and the :data:`DELTA_FORMAT` sidecar artifacts.  Each step
+#: is additive, so readers accept all three.
+FORMAT_VERSION = 3
 #: Manifest versions this build can read.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 MANIFEST_NAME = "manifest.json"
 COLORING_NAME = "coloring.npy"
 PLAN_NAME = "descent_plan.npz"
+UPDATES_NAME = "updates.npy"
 
 
 def file_digest(path: str) -> str:
@@ -283,6 +294,7 @@ def save_table(
     instrumentation: Optional[Instrumentation] = None,
     source: Optional[str] = None,
     descent_program: Optional[DescentProgram] = None,
+    lineage: Optional[dict] = None,
 ) -> TableArtifact:
     """Persist a finished count table as an artifact directory.
 
@@ -313,6 +325,14 @@ def save_table(
         (``descent_plan.npz``), so :func:`open_table` hands reopened
         urns a ready program and warm opens never compile.  Must have
         been compiled against exactly this table.
+    lineage:
+        Optional provenance dict for delta-maintained tables (format
+        v3): the facade records ``parent_fingerprint`` (the graph this
+        table's state was incrementally carried forward from) plus
+        update accounting, and compaction records the deltas it folded.
+        Purely informational — the table itself is bit-identical to a
+        fresh build, so the content-addressed identity stays the
+        ``graph``/``build`` pair.
     """
     if codec not in CODECS:
         raise ArtifactError(f"unknown codec {codec!r}; choose from {CODECS}")
@@ -430,6 +450,7 @@ def save_table(
         "total_pairs": total_pairs,
         "payload_bytes": payload,
         **({"descent_plan": plan_entry} if plan_entry else {}),
+        **({"lineage": dict(lineage)} if lineage else {}),
     }
     _write_manifest(directory, manifest)
     return TableArtifact(
@@ -445,6 +466,163 @@ def _write_manifest(directory: str, manifest: dict) -> None:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
     os.replace(tmp, path)
+
+
+def save_table_delta(
+    directory: str,
+    updates,
+    parent_fingerprint: str,
+    child_fingerprint: str,
+    stats: Optional[dict] = None,
+) -> dict:
+    """Persist one edge-update batch as a delta artifact (format v3).
+
+    A delta is deliberately *not* a table: it stores the normalized
+    ``(op, u, v)`` batch plus the parent and child graph fingerprints it
+    links.  Replaying the batch through
+    :func:`repro.colorcoding.incremental.apply_edge_updates` on the
+    parent's table reproduces the child's table bit for bit (the
+    coloring travels with the parent artifact), so a base artifact plus
+    a chain of deltas is a complete, compactable history —
+    :func:`compact_table` folds them back into a fresh full artifact.
+
+    Returns the written manifest.
+    """
+    from repro.graph.graph import normalize_updates
+
+    ops = normalize_updates(updates)
+    os.makedirs(directory, exist_ok=True)
+    try:
+        os.remove(os.path.join(directory, MANIFEST_NAME))
+    except OSError:
+        pass
+    np.save(
+        os.path.join(directory, UPDATES_NAME),
+        np.ascontiguousarray(ops, dtype=np.int64),
+    )
+    manifest = {
+        "format": DELTA_FORMAT,
+        "format_version": FORMAT_VERSION,
+        "created_at": time.time(),
+        "parent_fingerprint": parent_fingerprint,
+        "child_fingerprint": child_fingerprint,
+        "num_updates": int(ops.shape[0]),
+        "updates": _blob_entry(directory, UPDATES_NAME),
+        **({"stats": dict(stats)} if stats else {}),
+    }
+    _write_manifest(directory, manifest)
+    return manifest
+
+
+def load_table_delta(directory: str) -> "tuple[np.ndarray, dict]":
+    """Reopen a delta artifact; returns ``(updates, manifest)``.
+
+    Validates the format tag, version, lineage fields, and the blob
+    digest (deltas are small, so unlike table blobs they are always
+    verified).  Raises :class:`~repro.errors.ArtifactError` on any
+    mismatch.
+    """
+    manifest = load_manifest(directory)
+    _require_version(manifest, DELTA_FORMAT)
+    try:
+        parent = manifest["parent_fingerprint"]
+        child = manifest["child_fingerprint"]
+        entry = manifest["updates"]
+        path = os.path.join(directory, entry["file"])
+        expected_digest = entry["digest"]
+    except (KeyError, TypeError) as error:
+        raise ArtifactError(
+            f"corrupted delta manifest in {directory}: missing {error!r}"
+        ) from None
+    if not parent or not child:
+        raise ArtifactError(
+            f"delta manifest in {directory} lacks lineage fingerprints"
+        )
+    if not os.path.isfile(path):
+        raise ArtifactError(f"delta blob missing: {path}")
+    if file_digest(path) != expected_digest:
+        raise ArtifactError(f"delta blob {path} digest mismatch")
+    try:
+        ops = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as error:
+        raise ArtifactError(f"unreadable delta blob {path}: {error}") from None
+    if ops.ndim != 2 or ops.shape[1] != 3 or ops.dtype != np.int64:
+        raise ArtifactError(
+            f"delta blob {path} is not an (N, 3) int64 update batch"
+        )
+    return ops, manifest
+
+
+def compact_table(
+    base_directory: str,
+    delta_directories: "List[str]",
+    output_directory: str,
+    graph: Graph,
+    mmap: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
+) -> "tuple[TableArtifact, Graph]":
+    """Fold a base artifact plus a delta chain into a fresh artifact.
+
+    Opens the base table against ``graph`` (its fingerprint must match
+    the base manifest), replays each delta in order through
+    :func:`~repro.colorcoding.incremental.apply_edge_updates` — checking
+    that every delta's ``parent_fingerprint`` matches the graph state it
+    is applied to and that the updated graph lands on the recorded
+    ``child_fingerprint`` — and saves the result to
+    ``output_directory`` as a full v3 artifact whose ``lineage`` section
+    records the provenance.  The output is bit-identical to an artifact
+    saved from a fresh build on the final graph (same coloring), so
+    reopening it behaves exactly like the table it compacts.
+
+    The base's codec, build parameters, RNG state, and source hint are
+    carried over; the cached descent plan is not (the key universe may
+    have shifted), so the compacted artifact recompiles on first draw.
+
+    Returns ``(artifact, final_graph)``.
+    """
+    from repro.colorcoding.incremental import apply_edge_updates
+
+    base = open_table(base_directory, graph, mmap=mmap)
+    table = base.table
+    coloring = base.coloring
+    current = graph
+    applied = 0
+    for delta_dir in delta_directories:
+        ops, delta_manifest = load_table_delta(delta_dir)
+        if delta_manifest["parent_fingerprint"] != current.fingerprint():
+            raise ArtifactError(
+                f"delta {delta_dir} expects parent "
+                f"{delta_manifest['parent_fingerprint']!r}, graph is at "
+                f"{current.fingerprint()!r}"
+            )
+        result = apply_edge_updates(
+            table, current, ops, coloring, instrumentation=instrumentation
+        )
+        table, current = result.table, result.graph
+        applied += result.updates_applied
+        if delta_manifest["child_fingerprint"] != current.fingerprint():
+            raise ArtifactError(
+                f"delta {delta_dir} promised child "
+                f"{delta_manifest['child_fingerprint']!r}, replay produced "
+                f"{current.fingerprint()!r}"
+            )
+    artifact = save_table(
+        output_directory,
+        table,
+        coloring,
+        current,
+        codec=base.codec,
+        build=base.build,
+        rng_state=base.rng_state,
+        instrumentation=instrumentation,
+        source=base.source,
+        lineage={
+            "parent_fingerprint": graph.fingerprint(),
+            "deltas_compacted": len(delta_directories),
+            "updates_applied": applied,
+        },
+    )
+    return artifact, current
 
 
 def open_table(

@@ -15,6 +15,11 @@ this CLI mirrors that workflow:
     Reopen a persisted artifact — dense layers memory-mapped, no
     rebuild — and print estimates.  With the seed fixed at build time
     the output is bit-identical to a one-shot ``count``.
+``motivo-py update <artifact> --updates FILE``
+    Delta-maintain a persisted table under edge insertions/deletions:
+    propagate the touched-column frontier instead of rebuilding, and
+    rewrite the artifact in place — bit-identical to a fresh build on
+    the updated graph (``docs/artifacts.md``).
 ``motivo-py serve --artifact-dir DIR --port P``
     Long-lived serving: keep the cached tables warm and answer
     concurrent ``/count`` JSON queries (see ``docs/serving.md``).
@@ -38,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 import time
 from typing import List, Optional
@@ -383,6 +389,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="record sampling stage spans as JSON lines to this path",
     )
     sample.add_argument(
+        "--stats-out", default=None,
+        help="write the run's telemetry snapshot as JSON to this path",
+    )
+
+    update = commands.add_parser(
+        "update",
+        help="delta-maintain a persisted table artifact under edge "
+             "updates (no rebuild)",
+    )
+    update.add_argument(
+        "artifact", help="table artifact directory written by build"
+    )
+    update.add_argument(
+        "--updates", required=True,
+        help="edge-update file: one '+ u v' (insert) or '- u v' "
+             "(delete) per line, '#' comments; last op on an edge wins",
+    )
+    update.add_argument(
+        "--graph", default=None,
+        help="host graph (path or dataset name); defaults to the source "
+             "recorded in the artifact manifest",
+    )
+    update.add_argument(
+        "--rebuild", action="store_true",
+        help="rebuild the table under the same coloring instead of "
+             "delta propagation (correctness oracle; identical result)",
+    )
+    update.add_argument(
+        "--delta-log", default=None,
+        help="also persist the batch as a delta artifact under this "
+             "directory (replayable via artifact compaction)",
+    )
+    update.add_argument(
+        "--trace-out", default=None,
+        help="record the update stage span as JSON lines to this path",
+    )
+    update.add_argument(
         "--stats-out", default=None,
         help="write the run's telemetry snapshot as JSON to this path",
     )
@@ -749,6 +792,82 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.artifacts import ENSEMBLE_FORMAT, load_manifest, save_table
+    from repro.graph.io import load_updates
+
+    manifest = load_manifest(args.artifact)
+    if manifest.get("format") == ENSEMBLE_FORMAT:
+        print(
+            "error: update applies to table artifacts (rebuild ensemble "
+            "members with 'build --colorings N')",
+            file=sys.stderr,
+        )
+        return 1
+    source = args.graph or manifest.get("graph", {}).get("source")
+    if not source:
+        print(
+            "error: the artifact records no graph source; pass --graph",
+            file=sys.stderr,
+        )
+        return 1
+    graph = _load_graph(source)
+    updates = load_updates(args.updates)
+    start = time.perf_counter()
+    counter = MotivoCounter.from_artifact(graph, args.artifact)
+    try:
+        counter.configure_telemetry(_telemetry_config(args))
+        counter.config.incremental_updates = not args.rebuild
+        counter.config.delta_log_dir = args.delta_log
+        stats = counter.update(updates)
+        if stats["updates_applied"]:
+            # Rewrite the artifact in place under its recorded codec.
+            # save_table, not save_artifact: a batch that deletes the
+            # last colorful k-treelet leaves a legitimate empty-urn
+            # table (zero estimates) that must stay openable.  The old
+            # source hint now loads a pre-update graph whose
+            # fingerprint no longer matches, so the updated graph is
+            # embedded next to the blobs and the hint repointed —
+            # later sample/update/serve runs resolve it without
+            # --graph.
+            program = (
+                counter.urn.descent_program()
+                if counter.urn is not None else None
+            )
+            graph_blob = os.path.join(
+                os.path.abspath(args.artifact), "graph.npz"
+            )
+            save_binary(counter.graph, graph_blob)
+            save_table(
+                args.artifact,
+                counter.table,
+                counter.coloring,
+                counter.graph,
+                codec=str(manifest.get("codec", "dense")),
+                build=counter.config.build_params(),
+                rng_state=counter._rng.bit_generator.state,
+                instrumentation=counter.instrumentation,
+                source=graph_blob,
+                descent_program=program,
+                lineage=counter._lineage,
+            )
+        if args.stats_out:
+            _write_stats(args.stats_out, counter.instrumentation)
+    finally:
+        counter.close()
+    _LOG.info(
+        "%s update: %d entries -> %d applied (+%d/-%d), %d rows touched, "
+        "%.3fs propagate, %.2fs total%s",
+        stats["mode"], len(updates), stats["updates_applied"],
+        stats["edges_added"], stats["edges_removed"],
+        stats["rows_touched"], stats["propagate_seconds"],
+        time.perf_counter() - start,
+        "" if stats["updates_applied"] else " (artifact unchanged)",
+    )
+    print(json.dumps(stats, sort_keys=True))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import SamplingService, serve_http
 
@@ -960,6 +1079,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count": _cmd_count,
         "build": _cmd_build,
         "sample": _cmd_sample,
+        "update": _cmd_update,
         "serve": _cmd_serve,
         "exact": _cmd_exact,
         "info": _cmd_info,

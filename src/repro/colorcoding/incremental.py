@@ -1,0 +1,585 @@
+"""Incremental maintenance of count tables under edge updates.
+
+Today's pipeline treats the count table as write-once: any edge change
+invalidates :meth:`~repro.graph.graph.Graph.fingerprint` and forces a
+full color-coding rebuild.  This module instead maintains the table as a
+**materialized view** of the Equation (1) dynamic program: a batch of
+edge insertions/deletions re-runs the batched combination plans only on
+the *touched-column frontier*, and the result is bit-identical to a
+fresh rebuild on the updated graph under the same coloring.
+
+Touched-column frontier.  ``c(T_C, v)`` at level ``h`` reads level
+``h' < h`` counts at ``v`` itself and neighbor sums at ``u ~ v``, so a
+changed edge ``(a, b)`` can only perturb level-``h`` columns within
+distance ``h - 2`` of an endpoint (level 2 changes at the endpoints
+alone; each level adds one hop).  The frontier is grown over the
+**union** of the old and new adjacency: a deleted edge no longer exists
+in the new graph, but the stale contribution it used to carry still
+propagates outward along it, so both incidence structures bound the
+blast radius.  Level 1 (the per-color indicator rows) never changes
+under pure edge updates.
+
+Bit-identity argument (the PR 7 column-restriction argument, reused).
+Three facts make the column-restricted recomputation exact, not just
+approximately right:
+
+1. Every per-column operation of the batched kernel — plan gathers,
+   selection lookups, the fused einsum contraction, β division — is
+   elementwise over the vertex axis, so running it on the frontier
+   columns produces exactly the bytes the full run would put there.
+2. The restricted neighbor sums replay ``csr_matvecs`` over the
+   frontier rows of the adjacency with columns remapped to the sorted
+   halo; each output element sees its additions in ascending neighbor
+   order — the one-shot SpMM's exact floating-point sequence
+   (:func:`repro.colorcoding.sharded._streamed_spmm`'s whole-halo
+   argument).
+3. Counts are nonnegative, so the fresh build's keep test ("row sum
+   > 0") decomposes exactly into *any nonzero outside the frontier*
+   (old data, unchanged by induction) OR *any nonzero inside* (the
+   recomputed block) — the keep sets agree, and with them the layer
+   key lists, the full/fallback mode decisions of every later level,
+   and the sealed CSR records.
+
+Untouched columns are untouched bytes: dense layers copy the surviving
+rows and patch only the frontier columns; sealed
+:class:`~repro.table.count_table.SuccinctLayer` records are re-sealed
+only for frontier vertices, with untouched vertex records spliced over
+(key rows remapped through the monotone keep map).
+
+Telemetry: ``count.delta_updates_total`` (edge changes applied),
+``count.delta_rows_touched`` (frontier columns summed over levels) and
+``time.delta_propagate`` accumulate into the caller's instrumentation —
+names deliberately distinct from the build counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.colorcoding.buildup import (
+    _csr_row_subset,
+    _exec_compiled,
+    _exec_group,
+    _exec_resolved,
+    _spmm,
+)
+from repro.colorcoding.coloring import ColoringScheme
+from repro.colorcoding.plans import compile_plans, level_plans
+from repro.errors import BuildError
+from repro.graph.graph import Graph
+from repro.table.count_table import (
+    CountTable,
+    Layer,
+    LayerView,
+    SuccinctLayer,
+    csr_offsets,
+)
+from repro.treelets.registry import TreeletRegistry
+from repro.util.instrument import Instrumentation
+
+__all__ = ["DeltaResult", "apply_edge_updates", "touched_frontiers"]
+
+Key = Tuple[int, int]
+
+
+@dataclass
+class DeltaResult:
+    """Outcome of one :func:`apply_edge_updates` batch.
+
+    Attributes
+    ----------
+    table, graph:
+        The maintained count table and the updated graph it now counts.
+        When the batch is a pure no-op both are the *input* objects.
+    touched:
+        Sorted endpoint vertices whose adjacency changed.
+    rows_touched:
+        Frontier columns recomputed, summed over levels ``2..k`` — the
+        work measure the update/rebuild speedup scales with.
+    updates_applied, edges_added, edges_removed:
+        Edge changes the batch actually made (no-op entries excluded).
+    dirty_columns:
+        Sorted vertices whose *sub-k* layer counts (sizes ``1..k-1``)
+        may have changed — the radius-``(k-3)`` frontier ball, which
+        contains the endpoints.  The sampling plane's cache-retargeting
+        hint: gathered-cumulative rows stay valid for every vertex
+        whose neighborhood avoids this set (see
+        :meth:`repro.colorcoding.urn.TreeletUrn.rebind`).
+    """
+
+    table: CountTable
+    graph: Graph
+    touched: np.ndarray
+    rows_touched: int
+    updates_applied: int
+    edges_added: int
+    edges_removed: int
+    dirty_columns: Optional[np.ndarray] = None
+
+
+def _gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, verts: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbor lists of ``verts`` (one CSR gather)."""
+    lengths = (indptr[verts + 1] - indptr[verts]).astype(np.int64)
+    offsets = np.zeros(verts.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    gather = (
+        np.repeat(indptr[verts].astype(np.int64) - offsets[:-1], lengths)
+        + np.arange(total, dtype=np.int64)
+    )
+    return indices[gather]
+
+
+def touched_frontiers(
+    old_graph: Graph, new_graph: Graph, endpoints: np.ndarray, k: int
+) -> List[np.ndarray]:
+    """Balls of radius ``0 .. k-2`` around the updated endpoints.
+
+    Grown over the union of old and new adjacency (see the module
+    docstring); entry ``r`` is the sorted vertex set within distance
+    ``r``, and level ``h`` of the delta recomputes exactly entry
+    ``h - 2``.
+    """
+    ball = np.unique(np.asarray(endpoints, dtype=np.int64))
+    balls = [ball]
+    for _radius in range(1, max(k - 1, 1)):
+        grown = np.union1d(
+            _gather_neighbors(old_graph.indptr, old_graph.indices, ball),
+            _gather_neighbors(new_graph.indptr, new_graph.indices, ball),
+        )
+        ball = np.union1d(ball, grown)
+        balls.append(ball)
+    return balls
+
+
+def _membership(sorted_values: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``queries`` in a sorted unique array."""
+    if sorted_values.size == 0:
+        return np.zeros(queries.shape, dtype=bool)
+    positions = np.searchsorted(sorted_values, queries)
+    positions = np.minimum(positions, sorted_values.size - 1)
+    return sorted_values[positions] == queries
+
+
+def _column_block(layer: LayerView, cols: np.ndarray) -> np.ndarray:
+    """Dense float64 ``num_keys × len(cols)`` column block of a layer.
+
+    Dense layers slice; succinct layers scatter their CSR vertex records
+    for exactly the requested columns — no full densification either
+    way, so the cost stays proportional to the block.
+    """
+    if layer.layout == "dense":
+        return np.ascontiguousarray(
+            np.asarray(layer.counts)[:, cols], dtype=np.float64
+        )
+    block = np.zeros((layer.num_keys, cols.size), dtype=np.float64)
+    indptr = layer.indptr
+    starts = indptr[cols].astype(np.int64)
+    lengths = (indptr[cols + 1] - starts).astype(np.int64)
+    offsets = np.zeros(cols.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    gather = (
+        np.repeat(starts - offsets[:-1], lengths)
+        + np.arange(total, dtype=np.int64)
+    )
+    block[
+        np.asarray(layer.key_row[gather], dtype=np.int64),
+        np.repeat(np.arange(cols.size, dtype=np.int64), lengths),
+    ] = layer.values[gather]
+    return block
+
+
+def _restricted_rows(adjacency, rows: np.ndarray):
+    """``adjacency[rows]`` with columns remapped onto the sorted halo.
+
+    Returns ``(piece, halo)`` where ``piece`` is a CSR over the halo
+    columns; the remap is monotone, so each row's axpy order — and with
+    it the floating-point sum — matches the unrestricted SpMM exactly.
+    """
+    sub = _csr_row_subset(adjacency, rows)
+    halo, halo_cols = np.unique(sub.indices, return_inverse=True)
+    piece = sparse.csr_matrix(
+        (sub.data, halo_cols.reshape(-1), sub.indptr),
+        shape=(rows.size, halo.size),
+    )
+    return piece, halo
+
+
+def _neighbor_block(
+    adjacency,
+    layer: LayerView,
+    rows: np.ndarray,
+    instrumentation: Instrumentation,
+) -> np.ndarray:
+    """Augmented ``(num_keys + 1, len(rows))`` restricted neighbor sums.
+
+    The frontier counterpart of
+    :func:`repro.colorcoding.buildup._neighbor_matrix`: the same values
+    as ``_neighbor_matrix(adjacency, counts)[:, rows]`` bit for bit,
+    computed from only the halo columns of the source layer, with the
+    trailing all-zero sentinel row the selection lookups rely on.
+    """
+    instrumentation.count("spmm_ops")
+    piece, halo = _restricted_rows(adjacency, rows)
+    operand = np.ascontiguousarray(_column_block(layer, halo).T)
+    sums = _spmm(piece, operand)
+    augmented = np.empty((layer.num_keys + 1, rows.size), dtype=np.float64)
+    augmented[:-1] = sums.T
+    augmented[-1] = 0.0
+    return augmented
+
+
+def _restricted_sums(
+    adjacency,
+    layer: LayerView,
+    rows: np.ndarray,
+    row_subset: np.ndarray,
+    instrumentation: Instrumentation,
+) -> np.ndarray:
+    """``(len(rows), len(row_subset))`` neighbor sums over selected keys.
+
+    Mirrors the sharded ``_streamed_spmm(..., row_subset=...)`` call the
+    zero-rooted selection groups make: only the layer rows the color-0
+    lookup actually reads enter the SpMM.
+    """
+    instrumentation.count("spmm_ops")
+    piece, halo = _restricted_rows(adjacency, rows)
+    operand = np.ascontiguousarray(_column_block(layer, halo)[row_subset].T)
+    return _spmm(piece, operand)
+
+
+def _exec_zero_restricted(
+    clevel,
+    shim: CountTable,
+    sources: Dict[int, LayerView],
+    adjacency,
+    cols: np.ndarray,
+    colors_local: np.ndarray,
+    instrumentation: Instrumentation,
+) -> np.ndarray:
+    """The zero-rooted size-``k`` level on the frontier columns.
+
+    Mirrors ``_exec_zero_shard`` with an arbitrary column set instead of
+    a contiguous shard: selection groups run one restricted SpMM over
+    exactly the rows the color-0 lookup reads, contraction groups
+    contract the frontier's color-0 columns against restricted neighbor
+    sums.  Non-color-0 columns stay exactly ``0.0``, as in the full
+    kernel.
+    """
+    width = cols.size
+    out = np.zeros((len(clevel.keys), width), dtype=np.float64)
+    zero_local = np.flatnonzero(colors_local == 0)
+    if zero_local.size == 0:
+        return out
+    zero_rows = cols[zero_local]
+    prime_cols: Dict[int, np.ndarray] = {}
+    for group in clevel.groups:
+        instrumentation.count("merge_ops", group.prime_rows.size)
+        if group.select_lut is not None:
+            slots_zero, rows_zero = group.color_slots[0]
+            if slots_zero.size:
+                values = _restricted_sums(
+                    adjacency, sources[group.h_second], zero_rows,
+                    rows_zero, instrumentation,
+                )
+                rows = group.out_rows[slots_zero]
+                divisors = clevel.betas[rows] > 1.0
+                acc = values.T
+                if divisors.any():
+                    acc = acc.copy()
+                    acc[divisors] /= clevel.betas[rows][divisors, None]
+                out[np.ix_(rows, zero_local)] = acc
+            continue
+        if group.h_prime not in prime_cols:
+            prime_cols[group.h_prime] = np.ascontiguousarray(
+                shim.layer(group.h_prime).counts[:, zero_local]
+            )
+        second = _neighbor_block(
+            adjacency, sources[group.h_second], zero_rows, instrumentation
+        )
+        acc = _exec_group(
+            group, prime_cols[group.h_prime], second, colors_local[zero_local]
+        )
+        divisors = clevel.betas[group.out_rows] > 1.0
+        if divisors.any():
+            acc[divisors] /= clevel.betas[group.out_rows][divisors, None]
+        out[np.ix_(group.out_rows, zero_local)] = acc
+    return out
+
+
+def _patched_layer(
+    h: int,
+    old_layer: LayerView,
+    candidate_keys: List[Key],
+    out_block: np.ndarray,
+    cols: np.ndarray,
+    n: int,
+    in_place: bool = False,
+) -> LayerView:
+    """Splice the recomputed frontier columns into the level's layer.
+
+    ``candidate_keys`` is the level's sorted key universe and
+    ``out_block`` its recomputed counts at the frontier ``cols``.  The
+    keep set decomposes exactly (module docstring, fact 3); dense layers
+    patch the frontier columns (in place when the caller owns the table
+    and the key set is unchanged — the steady-state trickle path, which
+    does column-local work instead of copying the matrix), succinct
+    layers re-seal only frontier vertex records and splice the rest with
+    key rows remapped through the (monotone) keep map.
+
+    The dense keep test reads :meth:`DenseLayer.row_totals` minus the
+    frontier row sums instead of scanning the off-frontier matrix:
+    counts are integer-valued floats, so the subtraction is exact and
+    the ``> 0`` decision matches the fresh build's bit for bit.
+    """
+    candidate_rows = {key: i for i, key in enumerate(candidate_keys)}
+    old_cand = np.asarray(
+        [candidate_rows[key] for key in old_layer.keys], dtype=np.int64
+    ).reshape(old_layer.num_keys)
+
+    pos_old = np.zeros(len(candidate_keys), dtype=bool)
+    if old_layer.layout == "dense":
+        if old_layer.counts.size:
+            frontier_sums = np.asarray(
+                old_layer.counts[:, cols], dtype=np.float64
+            ).sum(axis=1)
+            pos_old[old_cand] = (
+                old_layer.row_totals() - frontier_sums
+            ) > 0.0
+    else:
+        pair_verts = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(old_layer.indptr)
+        )
+        outside_pairs = ~_membership(cols, pair_verts)
+        if outside_pairs.any():
+            rows_outside = np.asarray(
+                old_layer.key_row[outside_pairs], dtype=np.int64
+            )
+            pos_old[old_cand] = np.bincount(
+                rows_outside, minlength=old_layer.num_keys
+            ) > 0
+    pos_new = (out_block > 0.0).any(axis=1)
+    keep = pos_old | pos_new
+    kept = np.flatnonzero(keep)
+    kept_keys = [candidate_keys[i] for i in kept]
+    kept_pos = np.full(len(candidate_keys), -1, dtype=np.int64)
+    kept_pos[kept] = np.arange(kept.size, dtype=np.int64)
+
+    if old_layer.layout == "dense":
+        if (
+            in_place
+            and old_layer.counts.flags.writeable
+            and kept_keys == old_layer.keys
+        ):
+            # Steady state: no key births or deaths, caller owns the
+            # table — patch the frontier columns into the live matrix.
+            old_layer.patch_columns(cols, out_block[old_cand])
+            return old_layer
+        new_counts = np.zeros((kept.size, n), dtype=np.float64)
+        old_keep = keep[old_cand]
+        if old_keep.any():
+            new_counts[kept_pos[old_cand[old_keep]]] = np.asarray(
+                old_layer.counts[old_keep], dtype=np.float64
+            )
+        new_counts[:, cols] = out_block[kept]
+        return Layer(h, kept_keys, new_counts)
+
+    # Succinct splice.  Untouched vertex records carry only keys with a
+    # positive count outside the frontier, i.e. kept keys, so the remap
+    # below never hits -1; it is monotone over kept rows, so remapped
+    # records keep their strictly-ascending key order.
+    remap = kept_pos[old_cand]
+    pair_verts = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(old_layer.indptr)
+    )
+    untouched = ~_membership(cols, pair_verts)
+    old_rows = remap[np.asarray(old_layer.key_row, dtype=np.int64)[untouched]]
+    old_values = np.asarray(old_layer.values, dtype=np.float64)[untouched]
+
+    sub = out_block[kept]
+    new_local, new_rows = np.nonzero(sub.T)
+    new_values = sub[new_rows, new_local]
+
+    all_verts = np.concatenate([pair_verts[untouched], cols[new_local]])
+    all_rows = np.concatenate([old_rows, new_rows.astype(np.int64)])
+    all_values = np.concatenate([old_values, new_values])
+    order = np.argsort(all_verts, kind="stable")
+    return SuccinctLayer(
+        h,
+        kept_keys,
+        csr_offsets(all_verts, n),
+        all_rows[order],
+        all_values[order],
+    )
+
+
+def apply_edge_updates(
+    table: CountTable,
+    graph: Graph,
+    updates,
+    coloring: ColoringScheme,
+    registry: Optional[TreeletRegistry] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    in_place: bool = False,
+) -> DeltaResult:
+    """Maintain a count table under a batch of edge updates.
+
+    Parameters
+    ----------
+    table:
+        The table built on ``graph`` under ``coloring`` (any layout).
+        With ``in_place=False`` it is not mutated; the result carries a
+        fresh table sharing the unchanged layer-1 object.  With
+        ``in_place=True`` the caller relinquishes it: dense levels whose
+        key set is unchanged are patched in the live matrices (the
+        steady-state trickle fast path — column-local work instead of
+        matrix copies), so the input table must not be read afterwards.
+        Read-only (memory-mapped) or key-changing levels silently fall
+        back to the copying path either way.
+    graph:
+        The graph the table currently counts.
+    updates:
+        Edge update batch — ``(op, u, v)`` triples accepted by
+        :func:`repro.graph.graph.normalize_updates`.
+    coloring:
+        The build's coloring.  Persisting it per build is what makes
+        the delta and an oracle rebuild see identical color
+        assignments; pure edge updates never change it.
+    registry, instrumentation:
+        Treelet registry for ``k`` (built on demand) and the counter
+        bag receiving the ``delta_*`` telemetry.
+
+    Returns a :class:`DeltaResult` whose table is **bit-identical** to
+    ``build_table(new_graph, coloring, ...)`` — same kept keys, same
+    count bytes, same layout.
+    """
+    k = table.k
+    n = table.num_vertices
+    if graph.num_vertices != n:
+        raise BuildError(
+            f"table covers {n} vertices, graph has {graph.num_vertices}"
+        )
+    if coloring.k != k or coloring.num_vertices != n:
+        raise BuildError(
+            f"coloring is for k={coloring.k} over {coloring.num_vertices} "
+            f"vertices; table wants k={k} over {n}"
+        )
+    registry = registry or TreeletRegistry(k)
+    if registry.k != k:
+        raise BuildError(f"registry is for k={registry.k}, table for k={k}")
+    instrumentation = instrumentation or Instrumentation()
+
+    with instrumentation.timer("delta_propagate"):
+        added, removed, endpoints = graph.resolve_updates(updates)
+        if endpoints.size == 0:
+            return DeltaResult(table, graph, endpoints, 0, 0, 0, 0)
+        new_graph, _touched = graph.apply_updates(updates)
+        balls = touched_frontiers(graph, new_graph, endpoints, k)
+        adjacency = new_graph.adjacency_csr()
+        colors = coloring.colors
+        compiled = compile_plans(registry)
+        plans = level_plans(registry)
+        universe_sizes = {h: len(compiled[h].keys) for h in range(2, k + 1)}
+        universe_sizes[1] = k
+        zero_rooted = table.zero_rooted
+
+        new_table = CountTable(k, n, zero_rooted=zero_rooted)
+        new_table.set_layer(table.layer(1))
+        rows_touched = 0
+        for h in range(2, k + 1):
+            clevel = compiled[h]
+            cols = balls[h - 2]
+            width = cols.size
+            rows_touched += width
+            source_sizes = sorted(
+                {g.h_second for g in clevel.groups}
+                | {g.h_prime for g in clevel.groups}
+            )
+            sources = {size: new_table.layer(size) for size in source_sizes}
+            # Mode selection must mirror _run_batched exactly; the keep
+            # sets agree by induction, so the decisions coincide with
+            # the fresh build's.
+            full = all(
+                sources[size].num_keys == universe_sizes[size]
+                for size in source_sizes
+            )
+            colors_local = np.ascontiguousarray(colors[cols])
+            shim = CountTable(k, width, False)
+            for size in source_sizes:
+                shim.set_layer(
+                    Layer(
+                        size,
+                        list(sources[size].keys),
+                        _column_block(sources[size], cols),
+                    )
+                )
+            if h == k and zero_rooted and full:
+                out = _exec_zero_restricted(
+                    clevel, shim, sources, adjacency, cols, colors_local,
+                    instrumentation,
+                )
+                keys: List[Key] = list(clevel.keys)
+            elif full:
+                neighbor_sums = {
+                    size: _neighbor_block(
+                        adjacency, sources[size], cols, instrumentation
+                    )
+                    for size in source_sizes
+                }
+                out = _exec_compiled(
+                    shim, clevel, colors_local,
+                    np.arange(width, dtype=np.int64), neighbor_sums, {},
+                    instrumentation,
+                )
+                keys = list(clevel.keys)
+            else:
+                instrumentation.count("fallback_levels")
+                plan = plans[h]
+                neighbor_sums = {
+                    size: _neighbor_block(
+                        adjacency, sources[size], cols, instrumentation
+                    )
+                    for size in source_sizes
+                }
+                out = _exec_resolved(
+                    shim, plan, neighbor_sums, instrumentation
+                )
+                if h == k and zero_rooted:
+                    out *= (colors_local == 0).astype(np.float64)
+                # The plan's enumeration order and the sorted universe
+                # hold the same key set; canonicalize to sorted so the
+                # patching below is order-independent.
+                perm = sorted(
+                    range(len(plan.out_keys)),
+                    key=lambda i: plan.out_keys[i],
+                )
+                out = out[perm]
+                keys = [plan.out_keys[i] for i in perm]
+            new_table.set_layer(
+                _patched_layer(
+                    h, table.layer(h), keys, out, cols, n,
+                    in_place=in_place,
+                )
+            )
+            del out
+        instrumentation.count(
+            "delta_updates_total", int(added.size + removed.size)
+        )
+        instrumentation.count("delta_rows_touched", rows_touched)
+    return DeltaResult(
+        new_table,
+        new_graph,
+        endpoints,
+        rows_touched,
+        int(added.size + removed.size),
+        int(added.size),
+        int(removed.size),
+        dirty_columns=balls[k - 3] if k >= 3 else endpoints,
+    )

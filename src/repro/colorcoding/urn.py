@@ -238,7 +238,136 @@ class TreeletUrn:
         self._gathered_cached_rows = 0
         self._gath_matrix: Optional[np.ndarray] = None
         self._gath_slot: Optional[np.ndarray] = None
+        # The graph snapshot the gathered store is pinned to, plus the
+        # per-vertex dirty mask of the stale-row read discipline (see
+        # :meth:`_retarget_gathered`).  Identical to ``self.graph`` until
+        # an incremental rebind keeps the store across an edge update.
+        self._gath_graph: Graph = graph
+        self._gath_dirty: Optional[np.ndarray] = None
         self._key_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def rebind(
+        self,
+        graph: Graph,
+        table: CountTable,
+        dirty_columns: Optional[np.ndarray] = None,
+    ) -> "TreeletUrn":
+        """Point the urn at an updated ``(graph, table)`` pair, in place.
+
+        The incremental maintainer's sampling-side counterpart: after an
+        edge-update batch the table's counts (and the graph's adjacency)
+        have moved, so every weight-derived structure is refreshed — but
+        the expensive graph-independent state survives.  The compiled
+        descent program is kept whenever it still validates against the
+        new table (key sets rarely change under a trickle of updates),
+        so the warm path never recompiles.  When ``dirty_columns`` names
+        the vertices whose sub-``k`` counts an update batch changed, the
+        gathered-cumulative store survives too: it stays pinned to its
+        snapshot graph and reads for vertices outside the dirty
+        neighborhood remain bit-exact, while dirty vertices take a live
+        per-segment path (:meth:`_retarget_gathered`).  Without that
+        hint the store, shape aliases, and neighbor buffers are dropped
+        and refill on demand.  Every refreshed structure is rebuilt by
+        the same code a fresh :class:`TreeletUrn` would run, so draws
+        after ``rebind`` are bit-identical to a from-scratch urn's.
+
+        Raises :class:`SamplingError` when the updated table holds no
+        colorful k-treelets (the empty-urn degradation); the urn is then
+        unusable and the caller should fall back to its empty-urn state.
+        """
+        weights = table.root_weights()
+        total = float(weights.sum())
+        if total <= 0:
+            raise SamplingError(
+                "the urn is empty: no colorful k-treelets were counted "
+                "(unlucky coloring or disconnected graph?)"
+            )
+        program = self._program
+        if program is not None:
+            try:
+                program.validate_for(table)
+            except ValueError:
+                program = None
+        old_graph = self.graph
+        self.graph = graph
+        self.table = table
+        self._total_weight = total
+        self._root_alias = AliasSampler(weights)
+        self._shape_weights.clear()
+        self._shape_alias.clear()
+        self._shape_totals.clear()
+        self._buffers.clear()
+        self._program = program
+        self._key_arrays = None
+        if not self._retarget_gathered(
+            old_graph, dirty_columns, program is not None
+        ):
+            self._gath_graph = graph
+            self._gath_dirty = None
+            row_bytes = (graph.indices.size + 1) * 8
+            self._gathered_row_budget = max(
+                16, self.descent_cache_bytes // row_bytes
+            )
+            self._gathered_cached_rows = 0
+            self._gath_matrix = None
+            self._gath_slot = None
+        return self
+
+    def _retarget_gathered(
+        self,
+        old_graph: Graph,
+        dirty_columns: Optional[np.ndarray],
+        program_kept: bool,
+    ) -> bool:
+        """Try to carry the gathered-cumulative store across a rebind.
+
+        The store holds, per gathered key, the running sum of that key's
+        counts over the snapshot graph's edge array.  The fused kernel
+        only ever reads it *relatively* — segment-endpoint differences
+        for split weights, and bisection against ``row[start] + t``
+        thresholds — so the global prefix offset of a row cancels out of
+        every decision.  A stale row read through the snapshot's
+        ``indptr``/``indices`` therefore yields bit-exact results for
+        any vertex whose adjacency segment is unchanged and whose
+        neighbors' counts for sub-``k`` layers are unchanged.  The dirty
+        mask marks exactly the vertices where that fails — the updated
+        columns plus their one-hop neighborhoods under both the old and
+        new adjacency — and the kernel routes those lanes through a live
+        per-segment computation against the *current* graph and table
+        (:meth:`_live_segments`), which is exact by construction.
+
+        Returns ``False`` (caller flushes the store) when there is no
+        dirty hint, the program was invalidated (gathered-key ids would
+        renumber), the store was never materialized, the dirty mask
+        would cover too much of the graph for stale reads to pay off, or
+        the updated counts would overflow the store's integer dtype.
+        """
+        if (
+            dirty_columns is None
+            or not program_kept
+            or self._gath_slot is None
+        ):
+            return False
+        n = self.graph.num_vertices
+        seed = np.zeros(n, dtype=bool)
+        seed[np.asarray(dirty_columns, dtype=np.int64)] = True
+        fresh = seed.copy()
+        for adjacency in (old_graph, self.graph):
+            hits = seed[adjacency.indices]
+            if hits.any():
+                owners = np.repeat(
+                    np.arange(n, dtype=np.int64), np.diff(adjacency.indptr)
+                )
+                fresh[owners[hits]] = True
+        dirty = fresh if self._gath_dirty is None else (
+            self._gath_dirty | fresh
+        )
+        if int(dirty.sum()) * 4 > n:
+            return False
+        if self._gath_matrix.dtype != self._gathered_dtype():
+            return False
+        self._gath_dirty = dirty
+        return True
 
     # ------------------------------------------------------------------
     # Global quantities
@@ -570,7 +699,7 @@ class TreeletUrn:
         largest = 0.0
         for size in range(1, self.k):
             largest = max(largest, self.table.layer(size).max_value())
-        bound = largest * self.graph.indices.size
+        bound = largest * self._gath_graph.indices.size
         return np.dtype(np.uint32) if bound < 2**32 else np.dtype(np.int64)
 
     def _ensure_gathered(self) -> None:
@@ -579,7 +708,8 @@ class TreeletUrn:
                 self._program.num_gathered_keys, -1, dtype=np.int64
             )
             self._gath_matrix = np.zeros(
-                (0, self.graph.indices.size + 1), dtype=self._gathered_dtype()
+                (0, self._gath_graph.indices.size + 1),
+                dtype=self._gathered_dtype(),
             )
 
     def _build_gathered_row(self, gk: int, out_row: np.ndarray) -> None:
@@ -590,7 +720,9 @@ class TreeletUrn:
         selection)."""
         program = self._program
         layer = self.table.layer(int(program.gk_size[gk]))
-        values = layer.row_values(int(program.gk_row[gk]))[self.graph.indices]
+        values = layer.row_values(int(program.gk_row[gk]))[
+            self._gath_graph.indices
+        ]
         out_row[0] = 0
         out_row[1:] = np.cumsum(values, dtype=np.int64)
 
@@ -643,7 +775,7 @@ class TreeletUrn:
                 self.instrumentation.count("gathered_budget_fallbacks")
                 wanted = np.unique(flat)
                 transient = np.zeros(
-                    (wanted.size, self.graph.indices.size + 1),
+                    (wanted.size, self._gath_graph.indices.size + 1),
                     dtype=self._gath_matrix.dtype,
                 )
                 tmp_slot = np.full(slot.size, -1, dtype=np.int64)
@@ -771,10 +903,26 @@ class TreeletUrn:
         second_gk = program.cand_second_gkid[cand]
         gathered, slot = self._gathered_rows(second_gk)
         sl = slot[second_gk]
-        indptr = self.graph.indptr
+        # Gathered rows are pinned to the snapshot graph: segment bounds
+        # and (later) child positions must come from the SAME arrays the
+        # rows were accumulated over.  Lanes at dirty vertices — where
+        # the snapshot's segments or gathered values have drifted from
+        # the live graph/table — are recomputed exactly, per segment,
+        # against current state instead.
+        indptr = self._gath_graph.indptr
         starts = indptr[verts]
         ends = indptr[verts + 1]
-        s_vals = gathered[sl, ends[None, :]] - gathered[sl, starts[None, :]]
+        s_vals = (
+            gathered[sl, ends[None, :]] - gathered[sl, starts[None, :]]
+        ).astype(np.int64)
+        dirty = self._gath_dirty
+        live = None
+        if dirty is not None:
+            live_sel = np.flatnonzero(dirty[verts])
+            if live_sel.size:
+                live = self._live_segments(program, second_gk, verts, live_sel)
+                lcum, live_nb, live_deg = live
+                s_vals[:, live_sel] = lcum[:, :, -1]
 
         weights = np.where(
             valid & (prime_vals > 0.0) & (s_vals > 0),
@@ -810,10 +958,32 @@ class TreeletUrn:
         # are integers, so that equals counting <= floor(u·s) — an exact
         # int64 threshold against the absolute gathered row.
         offsets = np.floor(child_u * chosen_s).astype(np.int64)
-        thresholds = gathered[chosen_slots, starts].astype(np.int64) + offsets
-        children = self._invert_children(
-            gathered, chosen_slots, starts, ends, thresholds
-        )
+        if live is None:
+            thresholds = (
+                gathered[chosen_slots, starts].astype(np.int64) + offsets
+            )
+            children = self._invert_children(
+                gathered, chosen_slots, starts, ends, thresholds
+            )
+        else:
+            children = np.empty(verts.size, dtype=np.int64)
+            clean = np.ones(verts.size, dtype=bool)
+            clean[live_sel] = False
+            cl = np.flatnonzero(clean)
+            thresholds = (
+                gathered[chosen_slots[cl], starts[cl]].astype(np.int64)
+                + offsets[cl]
+            )
+            children[cl] = self._invert_children(
+                gathered, chosen_slots[cl], starts[cl], ends[cl], thresholds
+            )
+            # Live lanes: same counting rule against the per-segment
+            # running sums (which start at zero, so the threshold is the
+            # bare offset), then the neighbor at the counted position.
+            rows = lcum[position[live_sel], np.arange(live_sel.size), :]
+            counted = (rows <= offsets[live_sel][:, None]).sum(axis=1)
+            at = np.minimum(counted, np.maximum(live_deg - 1, 0))
+            children[live_sel] = live_nb[np.arange(live_sel.size), at]
         self.instrumentation.count("batched_child_draws", verts.size)
         return program.cand_sub[chosen], children
 
@@ -846,7 +1016,61 @@ class TreeletUrn:
             hi = np.where(active & ~below, mid, hi)
             active = lo < hi
         positions = np.minimum(lo - starts - 1, ends - starts - 1)
-        return self.graph.indices[starts + positions]
+        return self._gath_graph.indices[starts + positions]
+
+    def _live_segments(
+        self,
+        program: DescentProgram,
+        second_gk: np.ndarray,
+        verts: np.ndarray,
+        live_sel: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact per-segment running sums for dirty-vertex lanes.
+
+        For each live lane the per-candidate gathered values are
+        recomputed directly from the *current* graph and table — the
+        same ``cumsum(counts[neighbors])`` the scalar path evaluates —
+        so decisions on these lanes match a freshly built urn exactly.
+        Returns ``(lcum, neighbors, degrees)``: an ``(Lmax, live, dmax)``
+        int64 running-sum tensor (padded lanes repeat the final total,
+        so endpoint reads and threshold counts are unaffected up to the
+        degree clamp), the padded ``(live, dmax)`` neighbor matrix, and
+        the live vertices' current degrees.
+        """
+        graph = self.graph
+        lv = verts[live_sel]
+        lstart = graph.indptr[lv]
+        ldeg = (graph.indptr[lv + 1] - lstart).astype(np.int64)
+        lmax = second_gk.shape[0]
+        count = int(live_sel.size)
+        dmax = int(ldeg.max()) if count else 0
+        if dmax == 0:
+            return (
+                np.zeros((lmax, count, 1), dtype=np.int64),
+                np.zeros((count, 1), dtype=np.int64),
+                ldeg,
+            )
+        lane = np.arange(dmax, dtype=np.int64)[None, :]
+        pad = np.minimum(lane, np.maximum(ldeg - 1, 0)[:, None])
+        neighbors = graph.indices[lstart[:, None] + pad]
+        valid = lane < ldeg[:, None]
+        gks = second_gk[:, live_sel]
+        sizes = program.gk_size[gks]
+        rows = program.gk_row[gks]
+        vals = np.zeros((lmax, count, dmax), dtype=np.float64)
+        nb3 = np.broadcast_to(neighbors[None, :, :], vals.shape)
+        rr3 = np.broadcast_to(rows[:, :, None], vals.shape)
+        for size in np.unique(sizes):
+            sel = sizes == size
+            vals[sel] = self.table.layer(int(size)).pairs_at(
+                rr3[sel], nb3[sel]
+            )
+        vals[:, ~valid] = 0.0
+        return (
+            np.cumsum(vals.astype(np.int64), axis=2),
+            neighbors,
+            ldeg,
+        )
 
     # ------------------------------------------------------------------
     # Copy materialization (§2.2 recursion)

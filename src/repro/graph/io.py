@@ -25,7 +25,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphError, GraphFormatError
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "load_binary",
     "save_binary",
     "load_graph",
+    "load_updates",
 ]
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -176,6 +177,43 @@ def save_edge_list(graph: Graph, path: PathLike) -> None:
         handle.write(f"# repro graph n={graph.num_vertices} m={graph.num_edges}\n")
         for u, v in graph.edges():
             handle.write(f"{u} {v}\n")
+
+
+def load_updates(path: PathLike, comment: str = "#") -> np.ndarray:
+    """Parse an edge-update file into a normalized ``(N, 3)`` batch.
+
+    One update per line: ``+ u v`` inserts the edge, ``- u v`` deletes
+    it (the spellings :func:`repro.graph.graph.normalize_updates`
+    accepts — ``add``/``insert``/``delete``/… — work too).  Lines
+    starting with ``comment`` and blank lines are skipped.  Order is
+    preserved: within the batch the last operation on an edge wins.
+    This is the ``motivo-py update --updates FILE`` format.
+    """
+    from repro.graph.graph import normalize_updates
+
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comment):
+                continue
+            parts = stripped.split()
+            if len(parts) != 3:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 'op u v', got "
+                    f"{stripped!r}"
+                )
+            try:
+                entries.append((parts[0], int(parts[1]), int(parts[2])))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: non-integer endpoints "
+                    f"{stripped!r}"
+                ) from exc
+    try:
+        return normalize_updates(entries)
+    except GraphError as exc:
+        raise GraphFormatError(f"{path}: {exc}") from exc
 
 
 def load_graph(spec: str) -> Graph:

@@ -39,6 +39,7 @@ Quickstart::
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
@@ -163,6 +164,21 @@ class MotivoConfig:
         streams — estimates are bit-identical with it on or off — and
         it is deliberately **not** a build field, so it never changes an
         artifact-cache key.
+    incremental_updates:
+        How :meth:`MotivoCounter.update` maintains the table under edge
+        updates: ``True`` (the default) propagates deltas over the
+        touched-column frontier
+        (:func:`repro.colorcoding.incremental.apply_edge_updates`);
+        ``False`` falls back to a full in-memory rebuild under the same
+        coloring — the incremental path's bit-identity oracle.  Both
+        produce byte-identical tables, so like telemetry this is not a
+        build field and never changes an artifact-cache key.
+    delta_log_dir:
+        When set, every :meth:`MotivoCounter.update` batch is also
+        persisted there as a numbered delta artifact
+        (``delta-000000``, …) carrying the parent/child graph
+        fingerprints, so the update history can later be folded into a
+        fresh base via :func:`repro.artifacts.compact_table`.
     """
 
     k: int = 5
@@ -184,6 +200,8 @@ class MotivoConfig:
     shard_dir: Optional[str] = None
     shard_jobs: int = 1
     telemetry: Optional[TelemetryConfig] = None
+    incremental_updates: bool = True
+    delta_log_dir: Optional[str] = None
 
     def build_params(self) -> dict:
         """The table-relevant fields, as recorded in artifact manifests."""
@@ -215,6 +233,11 @@ class MotivoCounter:
         #: of the ensemble engine's null members.
         self.empty_urn: bool = False
         self._built: bool = False
+        self._table = None
+        #: Provenance of a delta-maintained table (recorded into saved
+        #: artifacts as the manifest's ``lineage`` section); ``None``
+        #: until the first :meth:`update`.
+        self._lineage: Optional[dict] = None
         self._tracer = build_tracer(self.config.telemetry)
 
     @contextmanager
@@ -399,6 +422,7 @@ class MotivoCounter:
         ensemble engine has always given empty-urn members.
         """
         config = self.config
+        self._table = table
         try:
             self.urn = TreeletUrn(
                 self.graph,
@@ -428,6 +452,184 @@ class MotivoCounter:
     ) -> GraphletEstimates:
         """The degenerate zero-estimate answer of an empty-urn build."""
         return GraphletEstimates.empty(self.config.k, num_samples, method)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance: evolving graphs without rebuilds
+    # ------------------------------------------------------------------
+
+    @property
+    def table(self):
+        """The current count table (``None`` before :meth:`build`).
+
+        Kept even for empty-urn builds, so :meth:`update` can revive a
+        counter whose graph lost its last colorful k-treelet.
+        """
+        return self._table
+
+    def update(self, updates) -> dict:
+        """Apply a batch of edge insertions/deletions to the built table.
+
+        The graph and table advance together: the count table is
+        maintained as a materialized view of the build-up DP — deltas
+        propagate over the touched-column frontier
+        (:func:`repro.colorcoding.incremental.apply_edge_updates`)
+        instead of rebuilding, and the result is **bit-identical** to a
+        fresh build on the updated graph under the same coloring.  The
+        coloring itself never changes (pure edge updates, fixed vertex
+        count), and the master RNG stream is untouched, so post-update
+        estimates equal those of a counter freshly built on the updated
+        graph with this seed, bit for bit.
+
+        ``updates`` is a batch of ``(op, u, v)`` triples (``op`` one of
+        ``+1``/``-1`` or the string spellings accepted by
+        :func:`repro.graph.graph.normalize_updates`); within a batch the
+        last operation on an edge wins, and no-op entries (inserting a
+        present edge, deleting an absent one) are skipped.  A batch that
+        deletes the graph's last colorful k-treelets degrades to the
+        usual ``empty_urn`` state — sampling then returns flagged zero
+        estimates, and a later insertion batch revives the urn.
+
+        With :attr:`MotivoConfig.incremental_updates` off, the table is
+        fully rebuilt (in memory, same coloring) instead — the oracle
+        the incremental path is tested against.  With
+        :attr:`MotivoConfig.delta_log_dir` set, the batch is also
+        persisted as a delta artifact for later compaction.
+
+        Returns a stats dict: ``mode``, ``updates_applied``,
+        ``edges_added``, ``edges_removed``, ``rows_touched``,
+        ``touched_vertices``, ``propagate_seconds``.
+        """
+        if not self._built or self.coloring is None or self._table is None:
+            raise BuildError("call build() before update()")
+        config = self.config
+        started_at = time.perf_counter()
+        with self._stage("update", k=config.k):
+            if config.incremental_updates:
+                from repro.colorcoding.incremental import apply_edge_updates
+
+                result = apply_edge_updates(
+                    self._table,
+                    self.graph,
+                    updates,
+                    self.coloring,
+                    registry=self.registry,
+                    instrumentation=self.instrumentation,
+                    in_place=True,
+                )
+                new_graph, table = result.graph, result.table
+                dirty_columns = result.dirty_columns
+                stats = {
+                    "mode": "incremental",
+                    "updates_applied": result.updates_applied,
+                    "edges_added": result.edges_added,
+                    "edges_removed": result.edges_removed,
+                    "rows_touched": result.rows_touched,
+                    "touched_vertices": int(result.touched.size),
+                }
+            else:
+                added, removed, touched = self.graph.resolve_updates(updates)
+                new_graph, _ = self.graph.apply_updates(updates)
+                dirty_columns = None
+                stats = {
+                    "mode": "rebuild",
+                    "updates_applied": int(added.size + removed.size),
+                    "edges_added": int(added.size),
+                    "edges_removed": int(removed.size),
+                    "rows_touched": 0,
+                    "touched_vertices": int(touched.size),
+                }
+                if touched.size:
+                    # Full rebuild under the SAME coloring (always in
+                    # memory: the fallback is the correctness oracle,
+                    # not the scale path).
+                    table = build_table(
+                        new_graph,
+                        self.coloring,
+                        registry=self.registry,
+                        zero_rooting=config.zero_rooting,
+                        instrumentation=self.instrumentation,
+                        kernel=config.kernel,
+                        layout=config.table_layout,
+                    )
+                else:
+                    table = self._table
+            stats["propagate_seconds"] = time.perf_counter() - started_at
+            if stats["updates_applied"] == 0:
+                return stats
+            parent_fingerprint = self.graph.fingerprint()
+            if config.delta_log_dir:
+                self._log_delta(
+                    updates, parent_fingerprint, new_graph.fingerprint(),
+                    stats,
+                )
+            if self._lineage is None:
+                self._lineage = {
+                    "parent_fingerprint": parent_fingerprint,
+                    "update_batches": 0,
+                    "updates_applied": 0,
+                }
+            self._lineage["update_batches"] += 1
+            self._lineage["updates_applied"] += stats["updates_applied"]
+            self.graph = new_graph
+            self._refresh_after_update(table, dirty_columns)
+        return stats
+
+    def _refresh_after_update(self, table, dirty_columns=None) -> None:
+        """Rebind the warm sampling machinery to the updated graph/table.
+
+        The steady-state counterpart of :meth:`_finish_build`: instead
+        of constructing a fresh urn and classifier (recompiling the
+        descent plan, re-deriving the canonicalization caches), the
+        existing ones are pointed at the new graph and table.
+        :meth:`TreeletUrn.rebind` rebuilds exactly the state a fresh
+        constructor would (root alias, totals), keeps the compiled
+        descent program and — given the delta's ``dirty_columns`` hint —
+        the gathered-cumulative store, and recomputes exactly the reads
+        the update invalidated, so post-update samples stay
+        bit-identical to a fresh build without paying the cold-start
+        costs on every update.  Empty-urn transitions in
+        either direction fall back to the full :meth:`_finish_build`
+        path.
+        """
+        self._table = table
+        if self.urn is None or self.classifier is None:
+            # Empty-urn revival (or never fully built): construct fresh.
+            self.empty_urn = False
+            self._finish_build(table)
+            return
+        try:
+            self.urn.rebind(self.graph, table, dirty_columns=dirty_columns)
+        except SamplingError:
+            self.urn = None
+            self.empty_urn = True
+            self.instrumentation.count("empty_urn_builds")
+        else:
+            self.empty_urn = False
+        self.classifier.rebind(self.graph)
+        self._built = True
+
+    def _log_delta(
+        self,
+        updates,
+        parent_fingerprint: str,
+        child_fingerprint: str,
+        stats: dict,
+    ) -> None:
+        """Persist one update batch to the configured delta log."""
+        from repro.artifacts import save_table_delta
+
+        root = self.config.delta_log_dir
+        os.makedirs(root, exist_ok=True)
+        sequence = len(
+            [name for name in os.listdir(root) if name.startswith("delta-")]
+        )
+        save_table_delta(
+            os.path.join(root, f"delta-{sequence:06d}"),
+            updates,
+            parent_fingerprint,
+            child_fingerprint,
+            stats=stats,
+        )
 
     # ------------------------------------------------------------------
     # Persistence: build once, sample many
@@ -472,6 +674,7 @@ class MotivoCounter:
                 instrumentation=self.instrumentation,
                 source=source,
                 descent_program=urn.descent_program(),
+                lineage=self._lineage,
             )
 
     @classmethod

@@ -74,6 +74,20 @@ class GraphletClassifier:
             else None
         )
 
+    def rebind(self, graph: Graph) -> "GraphletClassifier":
+        """Point the classifier at an updated graph, in place.
+
+        Used by the incremental maintainer after an edge-update batch:
+        the vertex-tuple cache keys induced subgraphs of the *old*
+        adjacency, so it is dropped, while the pattern caches (packed
+        edge bits → canonical id) are graph-independent canonicalization
+        results and survive — classification after ``rebind`` returns
+        exactly what a fresh classifier would, just warmer.
+        """
+        self.graph = graph
+        self._by_vertices.clear()
+        return self
+
     def induced_bits(self, vertices: Sequence[int]) -> int:
         """Packed adjacency bits of the subgraph induced by ``vertices``."""
         k = self.k

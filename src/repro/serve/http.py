@@ -22,6 +22,14 @@ work, so the HTTP layer is a thin JSON codec:
     ``hits`` encoding as ``motivo-py sample --output``) plus request
     metadata (``key``, ``session``, ``sequence``, ``elapsed_ms``,
     ``empty_urn``).
+``POST /update``
+    Body: ``{"artifact": <key>?, "updates": [[op, u, v], ...]}`` with
+    ``op`` ``1``/``-1`` (or ``"+"``/``"-"``).  Delta-maintains the
+    artifact's table under the edge updates (bit-identical to a
+    rebuild on the updated graph), rewrites the artifact, and swaps
+    the warm handle; in-flight draws finish on the old table.
+    Response: the update stats (``updates_applied``, ``rows_touched``,
+    new ``fingerprint``, ...).
 
 **Tracing.**  Every request gets a trace id: an inbound ``X-Trace-Id``
 header is honored (sanitized to ``[A-Za-z0-9_.-]``, max 128 chars),
@@ -152,7 +160,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._request_trace_id = None
         service = self.server.service
-        if self.path != "/count":
+        if self.path not in ("/count", "/update"):
             # Drain the body first: on a keep-alive (HTTP/1.1)
             # connection, unread body bytes would be parsed as the
             # start of the next request.
@@ -163,6 +171,19 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             request = self._read_json()
+            if self.path == "/update":
+                updates = request.get("updates")
+                if not isinstance(updates, list):
+                    raise ServeError(
+                        "'updates' must be a list of [op, u, v] triples"
+                    )
+                stats = service.update(
+                    updates,
+                    artifact=_opt_str(request, "artifact"),
+                    trace_id=self._trace_id(),
+                )
+                self._send_json(200, stats)
+                return
             result = service.count(
                 artifact=_opt_str(request, "artifact"),
                 estimator=str(request.get("estimator", "naive")),

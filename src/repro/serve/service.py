@@ -529,6 +529,9 @@ class SamplingService:
         self._evict_gen: Dict[str, int] = {}
         self._lock = threading.Lock()
         self.instrumentation = Instrumentation(registry=self.registry)
+        #: Serializes table updates per artifact key: concurrent
+        #: updates would race on the artifact directory rewrite.
+        self._update_locks: Dict[str, threading.Lock] = {}
         self.started_at = time.time()
         #: (monotonic stamp, value) cache of the cache-root tree walk,
         #: so /healthz polling does not become disk-bound.
@@ -888,6 +891,120 @@ class SamplingService:
             extras=extras,
         )
 
+    # -- live updates ----------------------------------------------------
+
+    def update(
+        self,
+        updates,
+        artifact: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        """Apply an edge-update batch to a served artifact in place.
+
+        The engine behind ``POST /update``: the artifact's table is
+        delta-maintained over the touched-column frontier
+        (:func:`repro.colorcoding.incremental.apply_edge_updates` — bit
+        identical to a rebuild on the updated graph), the artifact
+        directory is rewritten, the updated graph is registered, and the
+        warm handle is swapped using the existing evict-while-served
+        semantics: in-flight draws finish on the old table (whose
+        memory-mapped blobs keep their unlinked inodes), and the next
+        request opens the updated artifact.  Evicting the key also drops
+        its session states — deliberate, since continuing a stream
+        across a table change would make "same session" mean two
+        different count distributions.
+
+        Updates for one key are serialized (concurrent batches would
+        race on the directory rewrite); updates for different keys run
+        concurrently.  Returns the update stats
+        (:meth:`repro.motivo.MotivoCounter.update`) plus the key and
+        the new graph fingerprint.
+        """
+        if self.tracer is None:
+            return self._update_inner(updates, artifact)
+        with activate(self.tracer), self.tracer.span(
+            "serve.update", trace_id=trace_id
+        ):
+            return self._update_inner(updates, artifact)
+
+    def _update_inner(self, updates, artifact: Optional[str]) -> dict:
+        from repro.artifacts import save_table
+        from repro.graph.io import save_binary
+        from repro.motivo import MotivoCounter
+
+        started = time.perf_counter()
+        key = self._resolve_key(artifact)
+        with self._lock:
+            lock = self._update_locks.setdefault(key, threading.Lock())
+        with lock:
+            handle = self._checkout(key)
+            try:
+                directory = handle.directory
+                graph = handle.graph
+                manifest = handle.manifest
+            finally:
+                handle.release()
+            counter = MotivoCounter.from_artifact(graph, directory)
+            try:
+                stats = counter.update(updates)
+                if stats["updates_applied"] == 0:
+                    stats.update(
+                        key=key, fingerprint=graph.fingerprint(), swapped=False
+                    )
+                    return stats
+                # Rewrite the artifact in place.  save_artifact would
+                # refuse an empty-urn table, but a batch that deletes
+                # the last colorful k-treelet is a legitimate served
+                # state (zero estimates), so go through save_table
+                # directly.  The old source hint now loads a
+                # pre-update graph whose fingerprint no longer
+                # matches, so the updated graph is embedded next to
+                # the blobs and the hint repointed — the artifact
+                # stays self-resolving across service restarts.
+                program = (
+                    counter.urn.descent_program()
+                    if counter.urn is not None else None
+                )
+                graph_blob = os.path.join(
+                    os.path.abspath(directory), "graph.npz"
+                )
+                save_binary(counter.graph, graph_blob)
+                save_table(
+                    directory,
+                    counter.table,
+                    counter.coloring,
+                    counter.graph,
+                    codec=str(manifest.get("codec", "dense")),
+                    build=counter.config.build_params(),
+                    rng_state=counter._rng.bit_generator.state,
+                    instrumentation=counter.instrumentation,
+                    source=graph_blob,
+                    descent_program=program,
+                    lineage=counter._lineage,
+                )
+                self.add_graph(counter.graph, source=graph_blob)
+                self.evict(key, from_disk=False)
+            finally:
+                counter.close()
+        elapsed = time.perf_counter() - started
+        self.instrumentation.count("serve_updates")
+        self.instrumentation.count(
+            "delta_updates_total", stats["updates_applied"]
+        )
+        self.instrumentation.count(
+            "delta_rows_touched", stats["rows_touched"]
+        )
+        self.registry.add_time(
+            "delta_propagate", stats["propagate_seconds"]
+        )
+        stats.update(
+            key=key,
+            fingerprint=counter.graph.fingerprint(),
+            swapped=True,
+            elapsed_seconds=elapsed,
+        )
+        return stats
+
     # -- introspection ---------------------------------------------------
 
     def artifacts(self) -> List[dict]:
@@ -981,6 +1098,14 @@ class SamplingService:
             ),
             "coalesced_draws": int(counters.get("serve_coalesced_draws", 0)),
             "sampling": sampling,
+            "updates": {
+                "batches": int(counters.get("serve_updates", 0)),
+                "applied": int(counters.get("delta_updates_total", 0)),
+                "rows_touched": int(counters.get("delta_rows_touched", 0)),
+                "propagate_seconds": round(
+                    timings.get("delta_propagate", 0.0), 6
+                ),
+            },
             "bytes_on_disk": self._bytes_on_disk_cached(),
         }
 

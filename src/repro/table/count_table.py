@@ -279,7 +279,7 @@ class DenseLayer(LayerView):
 
     __slots__ = (
         "size", "keys", "key_rows", "counts", "_cumulative", "_totals",
-        "_tarr",
+        "_tarr", "_row_totals",
     )
 
     def __init__(self, size: int, keys: Sequence[Key], counts: np.ndarray):
@@ -301,6 +301,7 @@ class DenseLayer(LayerView):
         self._cumulative: Optional[np.ndarray] = None
         self._totals: Optional[np.ndarray] = None
         self._tarr: Optional[np.ndarray] = None
+        self._row_totals: Optional[np.ndarray] = None
 
     @property
     def num_vertices(self) -> int:
@@ -330,6 +331,39 @@ class DenseLayer(LayerView):
         if self._totals is None:
             self._totals = self.counts.sum(axis=0)
         return self._totals
+
+    def row_totals(self) -> np.ndarray:
+        """Per-key totals over all vertices (exact: counts are integer
+        floats, so sums below 2^53 carry no rounding).  The incremental
+        maintainer's keep test reads them instead of scanning the
+        matrix; :meth:`patch_columns` keeps them current."""
+        if self._row_totals is None:
+            self._row_totals = self.counts.sum(axis=1)
+        return self._row_totals
+
+    def patch_columns(self, cols: np.ndarray, block: np.ndarray) -> None:
+        """Overwrite the columns ``cols`` with ``block``, in place.
+
+        The incremental maintainer's fast path: when an update batch
+        leaves the key set unchanged, the recomputed frontier columns
+        are spliced into the existing matrix and every derived cache is
+        *patched* rather than dropped — column-local work, where a
+        rebuild of ``cumulative()`` alone would rescan the whole table.
+        All patched caches stay exactly what a fresh recompute would
+        produce: counts are integer-valued floats, sums and cumsums of
+        them are exact, and ``cumulative()`` is columnwise-independent.
+        """
+        if not self.counts.flags.writeable:
+            raise TableError("patch_columns needs a writable counts matrix")
+        if self._row_totals is not None:
+            self._row_totals += block.sum(axis=1) - self.counts[:, cols].sum(
+                axis=1
+            )
+        self.counts[:, cols] = block
+        if self._totals is not None:
+            self._totals[cols] = block.sum(axis=0)
+        if self._cumulative is not None:
+            self._cumulative[:, cols] = np.cumsum(block, axis=0)
 
     def cumulative(self) -> np.ndarray:
         """Per-vertex running sums over *all* keys (zeros included).
@@ -393,7 +427,9 @@ class DenseLayer(LayerView):
 
     def memory_bytes(self) -> int:
         total = self.counts.nbytes
-        for cache in (self._cumulative, self._totals, self._tarr):
+        for cache in (
+            self._cumulative, self._totals, self._tarr, self._row_totals
+        ):
             if cache is not None:
                 total += cache.nbytes
         return total

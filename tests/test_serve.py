@@ -563,7 +563,14 @@ class TestTelemetryNameStability:
             "sampling",
             "sessions",
             "status",
+            "updates",
             "uptime_seconds",
+        ]
+        assert sorted(health["updates"]) == [
+            "applied",
+            "batches",
+            "propagate_seconds",
+            "rows_touched",
         ]
         assert sorted(health["sampling"]) == [
             "budget_fallbacks",
