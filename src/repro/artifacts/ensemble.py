@@ -122,6 +122,7 @@ def save_ensemble(
     manifest = {
         "format": ENSEMBLE_FORMAT,
         "format_version": FORMAT_VERSION,
+        # repro: allow[REPRO-D001] provenance timestamp in the manifest; never read back into tables, seeds, or estimates
         "created_at": time.time(),
         "graph": {
             "fingerprint": graph.fingerprint(),

@@ -430,6 +430,7 @@ def save_table(
     manifest = {
         "format": TABLE_FORMAT,
         "format_version": FORMAT_VERSION,
+        # repro: allow[REPRO-D001] provenance timestamp in the manifest; never read back into tables, seeds, or estimates
         "created_at": time.time(),
         "graph": {
             "fingerprint": graph.fingerprint(),
@@ -503,6 +504,7 @@ def save_table_delta(
     manifest = {
         "format": DELTA_FORMAT,
         "format_version": FORMAT_VERSION,
+        # repro: allow[REPRO-D001] provenance timestamp in the manifest; never read back into tables, seeds, or estimates
         "created_at": time.time(),
         "parent_fingerprint": parent_fingerprint,
         "child_fingerprint": child_fingerprint,

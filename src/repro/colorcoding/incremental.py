@@ -176,7 +176,7 @@ def _column_block(layer: LayerView, cols: np.ndarray) -> np.ndarray:
     """
     if layer.layout == "dense":
         return np.ascontiguousarray(
-            np.asarray(layer.counts)[:, cols], dtype=np.float64
+            layer.counts[:, cols], dtype=np.float64
         )
     block = np.zeros((layer.num_keys, cols.size), dtype=np.float64)
     indptr = layer.indptr

@@ -235,6 +235,7 @@ def plan_shards(
 # ----------------------------------------------------------------------
 
 
+# repro: pool-transport
 @dataclass(frozen=True)
 class _ShardTask:
     """One (level, vertex-range shard) unit of work (picklable)."""

@@ -950,7 +950,7 @@ class TreeletUrn:
         included_order = np.cumsum(included, axis=0)
         position = np.argmax(included_order == (rank + 1)[None, :], axis=0)
 
-        lanes = np.arange(verts.size)
+        lanes = np.arange(verts.size, dtype=np.int64)
         chosen = cand[position, lanes]
         chosen_slots = sl[position, lanes]
         chosen_s = s_vals[position, lanes].astype(np.float64)
@@ -980,10 +980,14 @@ class TreeletUrn:
             # Live lanes: same counting rule against the per-segment
             # running sums (which start at zero, so the threshold is the
             # bare offset), then the neighbor at the counted position.
-            rows = lcum[position[live_sel], np.arange(live_sel.size), :]
+            rows = lcum[
+                position[live_sel], np.arange(live_sel.size, dtype=np.int64), :
+            ]
             counted = (rows <= offsets[live_sel][:, None]).sum(axis=1)
             at = np.minimum(counted, np.maximum(live_deg - 1, 0))
-            children[live_sel] = live_nb[np.arange(live_sel.size), at]
+            children[live_sel] = live_nb[
+                np.arange(live_sel.size, dtype=np.int64), at
+            ]
         self.instrumentation.count("batched_child_draws", verts.size)
         return program.cand_sub[chosen], children
 

@@ -163,6 +163,7 @@ class EnsembleResult:
         return len(self.seeds)
 
 
+# repro: pool-transport
 @dataclass(frozen=True)
 class _RunSpec:
     """One ensemble member's marching orders (picklable task unit).

@@ -7,6 +7,24 @@ graph loading, treelet encoding, count tables, and the sampling engines.
 
 from __future__ import annotations
 
+from typing import List
+
+__all__: List[str] = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "TreeletError",
+    "MergeError",
+    "ColorError",
+    "TableError",
+    "ArtifactError",
+    "BuildError",
+    "MemoryBudgetError",
+    "SamplingError",
+    "GraphletError",
+    "ServeError",
+]
+
 
 class ReproError(Exception):
     """Base class of every exception raised by the ``repro`` package."""

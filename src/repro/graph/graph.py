@@ -60,7 +60,7 @@ def normalize_updates(updates) -> np.ndarray:
     return np.asarray(rows, dtype=np.int64).reshape(len(rows), 3)
 
 
-class Graph:
+class Graph:  # repro: pool-transport
     """Immutable undirected simple graph over vertices ``0..n-1``.
 
     Construct with :meth:`from_edges` (the general entry point) or directly

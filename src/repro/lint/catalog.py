@@ -1,0 +1,45 @@
+"""The rule catalog: every contract ``repro-lint`` enforces.
+
+One instance per rule; the human-facing catalog (contract, provenance,
+example finding, suppression guidance) is ``docs/static-analysis.md``.
+Synthetic findings — unparseable files (``REPRO-P001``) and reason-less
+suppressions (``REPRO-S001``) — are emitted by the core, not by a rule
+here, but are listed in :data:`RULE_IDS` so ``--list-rules`` and the
+docs stay complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.lint.core import PARSE_RULE_ID, SUPPRESSION_RULE_ID, Rule
+from repro.lint.rules_determinism import (
+    AmbientEntropyRule,
+    UnorderedIterationRule,
+)
+from repro.lint.rules_dtype import DtypeExactRule, DtypeExplicitRule
+from repro.lint.rules_locks import LockDisciplineRule
+from repro.lint.rules_transport import PoolTransportRule
+
+__all__ = ["ALL_RULES", "RULE_IDS", "rules_by_id"]
+
+#: Every active rule, in catalog order.
+ALL_RULES: Tuple[Rule, ...] = (
+    AmbientEntropyRule(),
+    UnorderedIterationRule(),
+    LockDisciplineRule(),
+    PoolTransportRule(),
+    DtypeExplicitRule(),
+    DtypeExactRule(),
+)
+
+#: Rule id → one-line title, including the core's synthetic rules.
+RULE_IDS: Dict[str, str] = {
+    **{rule.rule_id: rule.title for rule in ALL_RULES},
+    PARSE_RULE_ID: "file is unreadable or does not parse",
+    SUPPRESSION_RULE_ID: "repro: allow[...] suppression without a reason",
+}
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,378 @@
+"""The ``repro-lint`` framework: one AST parse, many invariant rules.
+
+The runtime test suite exercises *paths*; this linter checks *code
+shape* — the invariants every PR since the seed has leaned on
+(bit-identical estimates for a fixed seed, race-free shared telemetry,
+picklable pool transport, exact kernel dtypes) are encoded as AST rules
+so a future change cannot silently violate them in a path no test
+happens to cover.  The rule catalog lives in
+:mod:`repro.lint.catalog`; the human-facing contract description in
+``docs/static-analysis.md``.
+
+Mechanics
+---------
+
+* Every scanned ``.py`` file is parsed **once**; each applicable rule
+  walks the same tree via :class:`FileContext`.
+* Findings carry ``(rule id, path, line, col, message)`` and render as
+  ``path:line:col: RULE-ID message`` (or JSON with ``--format=json``).
+* Inline suppressions: a ``# repro: allow[RULE-ID] <reason>`` comment
+  silences that rule on its own line (trailing comment) or, when the
+  comment stands alone, on the line below.  A suppression
+  **must** carry a non-empty reason — a bare ``allow[...]`` is itself a
+  finding (:data:`SUPPRESSION_RULE_ID`), so every deliberate exception
+  is documented where it lives.
+* A file that does not parse is a finding (:data:`PARSE_RULE_ID`), not
+  a crash: the linter's own exit status stays meaningful on a broken
+  tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "LintReport",
+    "Suppression",
+    "lint_paths",
+    "lint_file",
+    "PARSE_RULE_ID",
+    "SUPPRESSION_RULE_ID",
+]
+
+#: Synthetic rule id for files the linter cannot parse.
+PARSE_RULE_ID = "REPRO-P001"
+
+#: Synthetic rule id for ``# repro: allow[...]`` comments without a
+#: reason string (satellite: every deliberate exception is documented).
+SUPPRESSION_RULE_ID = "REPRO-S001"
+
+#: ``# repro: allow[RULE-ID] reason`` — the reason is everything after
+#: the closing bracket (stripped); an empty reason is a finding.
+_ALLOW_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_-]+)\]([^#]*)"
+)
+
+#: ``# repro: holds-lock`` — marks a method whose callers always hold
+#: the lock guarding the attributes it touches (see REPRO-L001).
+HOLDS_LOCK_PATTERN = re.compile(r"#\s*repro:\s*holds-lock\b")
+
+#: ``# repro: pool-transport`` — marks a class that crosses the process
+#: pool boundary via ``engine.pipeline.execute_tasks`` (see REPRO-T001).
+POOL_TRANSPORT_PATTERN = re.compile(r"#\s*repro:\s*pool-transport\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[RULE-ID] reason`` comment."""
+
+    rule: str
+    line: int
+    reason: str
+    #: A standalone comment line suppresses the line *below*; a
+    #: trailing comment suppresses its own line.
+    standalone: bool = False
+
+    @property
+    def target_line(self) -> int:
+        return self.line + 1 if self.standalone else self.line
+
+
+class FileContext:
+    """Everything a rule needs about one file: source, tree, comments."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        #: Posix-style path as reported in findings (repo-relative when
+        #: the scan root is the repo).
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+        self._suppressions: Optional[List[Suppression]] = None
+
+    # -- path predicates (shared by the rules' ``applies``) -------------
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return PurePosixPath(self.path).parts
+
+    @property
+    def name(self) -> str:
+        return PurePosixPath(self.path).name
+
+    def in_package(self, *names: str) -> bool:
+        """Whether any path component matches one of ``names``."""
+        return any(part in names for part in self.parts)
+
+    # -- comment markers -------------------------------------------------
+
+    def line_text(self, line: int) -> str:
+        """1-based source line (empty string past EOF)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def suppressions(self) -> List[Suppression]:
+        """Every ``# repro: allow[...]`` comment in the file."""
+        if self._suppressions is None:
+            found: List[Suppression] = []
+            for index, text in enumerate(self.lines, start=1):
+                match = _ALLOW_PATTERN.search(text)
+                if match is not None:
+                    found.append(
+                        Suppression(
+                            rule=match.group(1),
+                            line=index,
+                            reason=match.group(2).strip(),
+                            standalone=text[: match.start()].strip() == "",
+                        )
+                    )
+            self._suppressions = found
+        return self._suppressions
+
+    def has_marker(self, pattern: "re.Pattern[str]", line: int) -> bool:
+        """Whether ``pattern`` appears on ``line`` or the line above.
+
+        Both placements read naturally for ``def``/``class`` statements
+        (trailing comment, or a comment line directly above — above any
+        decorators is handled by the callers passing the right line).
+        """
+        return bool(
+            pattern.search(self.line_text(line))
+            or pattern.search(self.line_text(line - 1))
+        )
+
+    # -- finding construction --------------------------------------------
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: one machine-checked contract.
+
+    Subclasses set :attr:`rule_id` / :attr:`title`, carry a docstring
+    naming the PR or doc section whose contract they enforce, and
+    implement :meth:`applies` (path scoping) and :meth:`check`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressions_used: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "suppressions_used": self.suppressions_used,
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under ``paths`` (files accepted verbatim).
+
+    Hidden directories, ``__pycache__``, and egg/build scratch are
+    skipped; results are sorted for stable output across filesystems.
+    """
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if not name.startswith(".") and name != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    full = os.path.join(dirpath, filename)
+                    if full not in seen:
+                        seen.add(full)
+    return iter(sorted(seen))
+
+
+def _relative_posix(path: str, root: Optional[str]) -> str:
+    """Report paths repo-relative (posix separators) when possible."""
+    if root is not None:
+        try:
+            path = os.path.relpath(path, root)
+        except ValueError:  # different drive on Windows
+            pass
+    return PurePosixPath(*os.path.normpath(path).split(os.sep)).as_posix()
+
+
+def lint_file(
+    path: str,
+    rules: Sequence[Rule],
+    display_path: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one file; returns ``(findings, suppressions_used)``."""
+    display = display_path if display_path is not None else path
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as error:
+        return (
+            [Finding(PARSE_RULE_ID, display, 1, 0, f"unreadable file: {error}")],
+            0,
+        )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return (
+            [
+                Finding(
+                    PARSE_RULE_ID,
+                    display,
+                    int(error.lineno or 1),
+                    int(error.offset or 0),
+                    f"file does not parse: {error.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(display, source, tree)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+    findings: List[Finding] = []
+    used = 0
+    # A reason-less suppression still masks its target — the one
+    # finding the developer should see is REPRO-S001 ("say why"), not
+    # the original plus a complaint about the comment.
+    allowed = {
+        (suppression.rule, suppression.target_line)
+        for suppression in ctx.suppressions()
+    }
+    for finding in raw:
+        if (finding.rule, finding.line) in allowed:
+            used += 1
+        else:
+            findings.append(finding)
+    for suppression in ctx.suppressions():
+        if not suppression.reason:
+            findings.append(
+                Finding(
+                    SUPPRESSION_RULE_ID,
+                    display,
+                    suppression.line,
+                    0,
+                    f"suppression allow[{suppression.rule}] has no reason — "
+                    "every deliberate exception must say why",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, used
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[str] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``rules`` defaults to the full catalog
+    (:data:`repro.lint.catalog.ALL_RULES`); ``root`` (default: the
+    current working directory) makes reported paths relative.
+    """
+    if rules is None:
+        from repro.lint.catalog import ALL_RULES
+
+        rules = ALL_RULES
+    if root is None:
+        root = os.getcwd()
+    report = LintReport()
+    for path in _iter_python_files(paths):
+        display = _relative_posix(path, root)
+        findings, used = lint_file(path, rules, display_path=display)
+        report.findings.extend(findings)
+        report.suppressions_used += used
+        report.files_scanned += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+# -- shared AST helpers (used by several rule modules) -------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_self_attribute(node: ast.AST, attr: Optional[str] = None) -> bool:
+    """Whether ``node`` is ``self.<attr>`` (any attribute if ``None``)."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )

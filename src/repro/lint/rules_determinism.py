@@ -1,0 +1,275 @@
+"""Determinism rules: no ambient entropy in the seed-driven packages.
+
+The repo's headline guarantee — bit-identical estimates and post-run
+RNG state for a fixed seed across kernels (PR 1/6), layouts (PR 4),
+stores (PR 7), telemetry on/off (PR 8), and incremental updates (PR 9)
+— holds because every draw flows from the master seed through
+:mod:`repro.util.rng` streams.  One ``np.random.rand`` or wall-clock
+read in a seed path silently breaks it in a way no fixed-seed test can
+see (the test just pins the new, wrong behaviour).  These rules ban
+ambient entropy sources at the AST level in the packages that own that
+contract: ``colorcoding/``, ``sampling/``, ``table/``, ``artifacts/``.
+
+``os.urandom`` is the one sanctioned non-RNG entropy source, and only
+in ``telemetry/tracing.py``: the PR 8 design mints trace/span ids there
+*because* they must never consume master-stream draws
+(``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import FileContext, Finding, Rule, dotted_name
+
+__all__ = ["AmbientEntropyRule", "UnorderedIterationRule"]
+
+#: Path components owning the fixed-seed determinism contract.
+DETERMINISM_PACKAGES = ("colorcoding", "sampling", "table", "artifacts")
+
+#: ``np.random.X`` attributes that construct seeded generators — the
+#: sanctioned surface.  Everything else on the module (``rand``,
+#: ``seed``, ``shuffle``, ...) is legacy global-state API and banned.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Names ``numpy.random`` may be imported as.
+_NP_RANDOM_MODULES = ("np.random", "numpy.random")
+
+
+def _is_tracing_module(ctx: FileContext) -> bool:
+    return ctx.in_package("telemetry") and ctx.name == "tracing.py"
+
+
+class AmbientEntropyRule(Rule):
+    """REPRO-D001: ambient entropy is banned in seed-driven packages.
+
+    Enforces the determinism contract of ``docs/architecture.md`` (and
+    the bit-identity gates of ``BENCH_*.json``): inside
+    ``colorcoding/``, ``sampling/``, ``table/``, ``artifacts/`` —
+
+    * no ``np.random.<fn>()`` global-state calls (``default_rng`` /
+      generator-class constructions are the sanctioned surface; pass
+      streams in via :func:`repro.util.rng.ensure_rng`),
+    * no stdlib ``random`` or ``uuid`` imports at all,
+    * no ``time.time()`` (wall clock; ``perf_counter`` for durations is
+      fine — it never feeds values into results),
+    * no ``os.urandom`` anywhere in the library **except**
+      ``telemetry/tracing.py``, where the PR 8 design sources trace ids
+      from it precisely to keep the master streams untouched.
+    """
+
+    rule_id = "REPRO-D001"
+    title = "ambient entropy in a determinism-contract package"
+
+    def applies(self, ctx: FileContext) -> bool:
+        # os.urandom is policed everywhere; the other checks only bind
+        # inside the determinism packages.  Cheap either way.
+        return not _is_tracing_module(ctx)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scoped = ctx.in_package(*DETERMINISM_PACKAGES)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, scoped)
+            elif scoped and isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in ("random", "uuid"):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"import of stdlib {alias.name!r} in a "
+                            "determinism package; draws must come from "
+                            "repro.util.rng streams",
+                        )
+            elif scoped and isinstance(node, ast.ImportFrom):
+                module = (node.module or "").split(".")[0]
+                if module in ("random", "uuid"):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"import from stdlib {module!r} in a determinism "
+                        "package; draws must come from repro.util.rng "
+                        "streams",
+                    )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, scoped: bool
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name == "os.urandom":
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "os.urandom is reserved for telemetry/tracing.py trace "
+                "ids (PR 8); seed paths must use repro.util.rng streams",
+            )
+            return
+        if not scoped:
+            return
+        if name == "time.time":
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "time.time() in a determinism package; wall-clock values "
+                "must not feed tables, seeds, or artifacts "
+                "(time.perf_counter for durations is fine)",
+            )
+            return
+        for module in _NP_RANDOM_MODULES:
+            prefix = module + "."
+            if name.startswith(prefix):
+                rest = name[len(prefix):]
+                head = rest.split(".")[0]
+                if head not in _NP_RANDOM_ALLOWED:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"global-state call {name}(); construct seeded "
+                        "generators (np.random.default_rng / "
+                        "repro.util.rng.ensure_rng) instead",
+                    )
+                return
+
+
+#: Array constructors whose element *order* becomes data.
+_ARRAY_SINKS = frozenset(
+    {
+        "np.array",
+        "np.asarray",
+        "np.fromiter",
+        "np.concatenate",
+        "np.stack",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.fromiter",
+        "numpy.concatenate",
+        "numpy.stack",
+    }
+)
+
+#: Seed-derivation entry points: feeding them an unordered collection
+#: makes the derived streams depend on hash-iteration order.
+_SEED_SINKS = frozenset(
+    {
+        "ensure_rng",
+        "spawn_rng",
+        "derive_child_seeds",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.SeedSequence",
+        "numpy.random.SeedSequence",
+    }
+)
+
+
+def _set_source(node: ast.AST) -> Optional[str]:
+    """A description of ``node`` when it produces a ``set``."""
+    if isinstance(node, ast.Call) and dotted_name(node.func) == "set":
+        return "set(...)"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.BinOp) and (
+        _set_source(node.left) or _set_source(node.right)
+    ):
+        return "set expression"
+    return None
+
+
+def _unordered_source(node: ast.AST) -> Optional[str]:
+    """A description of ``node`` when its iteration order is untrusted.
+
+    Sets, plus ``<expr>.keys()`` view calls: dict views *are*
+    insertion-ordered in CPython, but a keys view handed straight to an
+    array constructor or seed deriver inherits whatever order the dict
+    was populated in — the contract asks for an explicit
+    ``sorted(...)`` at that boundary.
+    """
+    source = _set_source(node)
+    if source is not None:
+        return source
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    ):
+        return ".keys() view"
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    """REPRO-D002: unordered iteration must not feed arrays or seeds.
+
+    Enforces the same fixed-seed contract as REPRO-D001 from the other
+    side: even with all draws seeded, building an array (or deriving
+    child seeds, PR 1's jobs-invariance argument) from ``set``/dict-view
+    iteration makes the *order* of deterministic values
+    hash-dependent.  In ``colorcoding/``, ``sampling/``, ``table/``,
+    ``artifacts/``, iterating such a collection into an array
+    constructor, a seed deriver, or a bare ``for`` loop is flagged;
+    wrap the collection in ``sorted(...)`` to fix the order explicitly.
+    """
+
+    rule_id = "REPRO-D002"
+    title = "unordered iteration feeding arrays or seed derivation"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*DETERMINISM_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                source = _set_source(node.iter)
+                if source is not None:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node.iter,
+                        f"for-loop iterates a {source}; order is "
+                        "hash-dependent — wrap in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    source = _set_source(generator.iter)
+                    if source is not None:
+                        yield ctx.finding(
+                            self.rule_id,
+                            generator.iter,
+                            f"comprehension iterates a {source}; order is "
+                            "hash-dependent — wrap in sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _ARRAY_SINKS or name in _SEED_SINKS:
+                    for argument in node.args:
+                        source = _unordered_source(argument)
+                        if source is not None:
+                            kind = (
+                                "array construction"
+                                if name in _ARRAY_SINKS
+                                else "seed derivation"
+                            )
+                            yield ctx.finding(
+                                self.rule_id,
+                                argument,
+                                f"{source} passed to {kind} ({name}); "
+                                "order is hash-dependent — wrap in "
+                                "sorted(...)",
+                            )

@@ -1,0 +1,172 @@
+"""Lock-discipline rule: guarded attributes stay under their lock.
+
+The PR 8 telemetry plane hangs one :class:`MetricsRegistry` off every
+urn, handle, and cache, mutated concurrently by serve worker threads;
+the PR 5 serving layer juggles refcounted table handles across request
+threads.  Both are correct only because every access to the shared maps
+happens under the owning lock (``docs/observability.md`` "one registry,
+one lock"; the TableHandle refcount/close protocol in
+``docs/serving.md``).  A forgotten ``with self._lock`` is a data race
+no single-threaded test will ever catch.
+
+This rule is a lightweight static race detector: a class declares
+
+.. code-block:: python
+
+    _GUARDED_BY = {"_counters": "lock", "_queue": "_queue_lock"}
+
+and every ``self.<attr>`` read/write of a declared attribute must sit
+lexically inside ``with self.<lock>:`` for the declared lock — or in a
+method whose ``def`` line carries ``# repro: holds-lock`` (meaning:
+every caller already holds it; the ``*_locked`` naming convention).
+``__init__`` is exempt (no concurrent aliases exist yet).  Nested
+functions reset the held-lock set: a closure may run after the block
+exits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.lint.core import (
+    HOLDS_LOCK_PATTERN,
+    FileContext,
+    Finding,
+    Rule,
+    is_self_attribute,
+)
+
+__all__ = ["LockDisciplineRule"]
+
+
+def _parse_guarded_by(node: ast.stmt) -> Optional[Dict[str, str]]:
+    """``{"attr": "lock"}`` from a ``_GUARDED_BY = {...}`` statement.
+
+    Returns ``None`` when the statement is not a ``_GUARDED_BY``
+    assignment at all; raises :class:`ValueError` when it is one but
+    malformed (non-literal keys/values).
+    """
+    if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+        return None
+    target = node.targets[0]
+    if not (isinstance(target, ast.Name) and target.id == "_GUARDED_BY"):
+        return None
+    if not isinstance(node.value, ast.Dict):
+        raise ValueError("_GUARDED_BY must be a dict literal")
+    declared: Dict[str, str] = {}
+    for key, value in zip(node.value.keys, node.value.values):
+        if not (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            raise ValueError(
+                "_GUARDED_BY keys and values must be string literals"
+            )
+        declared[key.value] = value.value
+    return declared
+
+
+def _held_locks(node: ast.stmt) -> FrozenSet[str]:
+    """Lock attribute names acquired by a ``with``/``async with``."""
+    names = set()
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            expr = item.context_expr
+            if is_self_attribute(expr):
+                names.add(expr.attr)
+    return frozenset(names)
+
+
+class LockDisciplineRule(Rule):
+    """REPRO-L001: ``_GUARDED_BY`` attributes accessed outside the lock.
+
+    Enforces the PR 8 MetricsRegistry single-lock contract
+    (``docs/observability.md``) and the PR 5 TableHandle /
+    SamplingService locking protocol (``docs/serving.md``) for
+    ``telemetry/metrics.py`` and everything under ``serve/``.
+    """
+
+    rule_id = "REPRO-L001"
+    title = "guarded attribute accessed outside its declared lock"
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.in_package("serve"):
+            return True
+        return ctx.in_package("telemetry") and ctx.name == "metrics.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, klass: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded: Optional[Dict[str, str]] = None
+        for stmt in klass.body:
+            try:
+                declared = _parse_guarded_by(stmt)
+            except ValueError as error:
+                yield ctx.finding(
+                    self.rule_id, stmt, f"unusable _GUARDED_BY: {error}"
+                )
+                return
+            if declared is not None:
+                guarded = declared
+        if not guarded:
+            return
+        for stmt in klass.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue  # no concurrent aliases during construction
+            if ctx.has_marker(HOLDS_LOCK_PATTERN, stmt.lineno):
+                continue
+            findings: List[Finding] = []
+            for child in stmt.body:
+                self._scan(ctx, child, frozenset(), guarded, findings)
+            yield from findings
+
+    def _scan(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        held: FrozenSet[str],
+        guarded: Dict[str, str],
+        findings: List[Finding],
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held | _held_locks(node)
+            for item in node.items:
+                self._scan(ctx, item.context_expr, held, guarded, findings)
+                if item.optional_vars is not None:
+                    self._scan(
+                        ctx, item.optional_vars, held, guarded, findings
+                    )
+            for stmt in node.body:
+                self._scan(ctx, stmt, inner, guarded, findings)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function may outlive the with-block: conservatively
+            # treat its body as running with no locks held.
+            for child in ast.iter_child_nodes(node):
+                self._scan(ctx, child, frozenset(), guarded, findings)
+            return
+        if isinstance(node, ast.Attribute) and is_self_attribute(node):
+            lock = guarded.get(node.attr)
+            if lock is not None and lock not in held:
+                findings.append(
+                    ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"self.{node.attr} is _GUARDED_BY self.{lock} but "
+                        "is accessed outside 'with self."
+                        f"{lock}' (mark the method '# repro: holds-lock' "
+                        "if every caller already holds it)",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._scan(ctx, child, held, guarded, findings)

@@ -1,0 +1,145 @@
+"""Pool-transport rule: classes crossing the process pool must pickle.
+
+``engine.pipeline.execute_tasks`` (PR 1, reused by the PR 7 sharded
+build) ships task specs and worker init state through a
+``ProcessPoolExecutor``: ``_RunSpec``, ``_ShardTask``, the ``Graph``,
+and ``MotivoConfig`` (which embeds ``TelemetryConfig``) are all
+pickled into every worker.  A lambda default, a ``threading.Lock``
+attribute, or an open file handle on one of these classes raises
+``TypeError: cannot pickle ...`` only on the pooled path — which the
+serial fallback (jobs=1, the path most tests take) never exercises.
+
+Classes in the transport closure carry a ``# repro: pool-transport``
+marker comment on (or directly above) their ``class`` line; this rule
+flags attribute definitions on marked classes that cannot cross the
+boundary:
+
+* class-level or ``self.x = ...`` lambda attributes,
+* ``threading.Lock/RLock/Condition/Event/Semaphore`` instances,
+* ``open(...)`` file handles.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.lint.core import (
+    POOL_TRANSPORT_PATTERN,
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+)
+
+__all__ = ["PoolTransportRule"]
+
+#: Constructors whose results cannot be pickled into a pool worker.
+_UNPICKLABLE_CALLS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "Lock",
+        "RLock",
+        "open",
+        "io.open",
+    }
+)
+
+
+def _unpicklable_value(value: ast.AST) -> Optional[str]:
+    """Why ``value`` breaks pickling, or ``None`` if it looks safe."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda (pickle cannot serialize it)"
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name in _UNPICKLABLE_CALLS:
+            if name in ("open", "io.open"):
+                return f"an open file handle ({name}(...))"
+            return f"a thread-synchronization object ({name}())"
+    return None
+
+
+def _is_marked(ctx: FileContext, klass: ast.ClassDef) -> bool:
+    if ctx.has_marker(POOL_TRANSPORT_PATTERN, klass.lineno):
+        return True
+    if klass.decorator_list:
+        first = min(dec.lineno for dec in klass.decorator_list)
+        return ctx.has_marker(POOL_TRANSPORT_PATTERN, first)
+    return False
+
+
+class PoolTransportRule(Rule):
+    """REPRO-T001: unpicklable attribute on a pool-transport class.
+
+    Enforces the ``engine.pipeline.execute_tasks`` transport contract
+    (PR 1 process-pool ensembles, PR 7 sharded build fan-out): every
+    ``# repro: pool-transport`` class must survive
+    ``pickle.dumps``/``loads`` into a worker process.
+    """
+
+    rule_id = "REPRO-T001"
+    title = "unpicklable attribute on a pool-transport class"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return POOL_TRANSPORT_PATTERN.search(ctx.source) is not None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_marked(ctx, node):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(
+        self, ctx: FileContext, klass: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in klass.body:
+            # Class-level attribute = shared default on every instance;
+            # dataclass field defaults land here too.
+            values = []
+            if isinstance(stmt, ast.Assign):
+                values.append(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                values.append(stmt.value)
+            for value in values:
+                reason = _unpicklable_value(value)
+                if reason is not None:
+                    yield ctx.finding(
+                        self.rule_id,
+                        value,
+                        f"class attribute default on pool-transport class "
+                        f"{klass.name} is {reason}; it crosses "
+                        "engine.pipeline.execute_tasks and must pickle",
+                    )
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_method(ctx, klass, stmt)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        klass: ast.ClassDef,
+        method: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            stores_on_self = any(
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                for target in node.targets
+            )
+            if not stores_on_self:
+                continue
+            reason = _unpicklable_value(node.value)
+            if reason is not None:
+                yield ctx.finding(
+                    self.rule_id,
+                    node.value,
+                    f"instance attribute on pool-transport class "
+                    f"{klass.name} is {reason}; it crosses "
+                    "engine.pipeline.execute_tasks and must pickle",
+                )

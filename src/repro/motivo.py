@@ -42,7 +42,7 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -64,7 +64,15 @@ from repro.treelets.registry import TreeletRegistry
 from repro.util.instrument import Instrumentation
 from repro.util.rng import ensure_rng, spawn_rng
 
+if TYPE_CHECKING:
+    from repro.artifacts.table_artifact import TableArtifact
+    from repro.table.count_table import CountTable
+
 __all__ = ["MotivoConfig", "MotivoCounter"]
+
+#: Everything :func:`repro.graph.graph.normalize_updates` accepts:
+#: a normalized ``(N, 3)`` int array or ``(op, u, v)`` triples.
+UpdateBatch = Union[np.ndarray, Iterable[Tuple[object, int, int]]]
 
 #: MotivoConfig fields recorded in (and restored from) artifact manifests.
 _BUILD_FIELDS = (
@@ -74,6 +82,7 @@ _BUILD_FIELDS = (
 )
 
 
+# repro: pool-transport
 @dataclass
 class MotivoConfig:
     """Configuration for one motivo pipeline.
@@ -458,7 +467,7 @@ class MotivoCounter:
     # ------------------------------------------------------------------
 
     @property
-    def table(self):
+    def table(self) -> "Optional[CountTable]":
         """The current count table (``None`` before :meth:`build`).
 
         Kept even for empty-urn builds, so :meth:`update` can revive a
@@ -466,7 +475,7 @@ class MotivoCounter:
         """
         return self._table
 
-    def update(self, updates) -> dict:
+    def update(self, updates: UpdateBatch) -> Dict[str, object]:
         """Apply a batch of edge insertions/deletions to the built table.
 
         The graph and table advance together: the count table is
@@ -640,7 +649,7 @@ class MotivoCounter:
         directory: str,
         codec: str = "dense",
         source: Optional[str] = None,
-    ) -> "object":
+    ) -> "TableArtifact":
         """Persist the built table as a reusable on-disk artifact.
 
         Records the build parameters, the coloring, per-layer blobs in
@@ -819,7 +828,7 @@ class MotivoCounter:
     def __enter__(self) -> "MotivoCounter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

@@ -200,6 +200,17 @@ class TableHandle:
     caches are deterministic same-value inserts and tolerate races.
     """
 
+    #: Lock contract, statically checked by repro-lint (REPRO-L001).
+    #: ``_queue`` hand-off and the refcount/close state machine each
+    #: live under their own lock; ``_draw_lock`` (leader drains) has no
+    #: guarded attributes — it serializes urn access, not state.
+    _GUARDED_BY = {
+        "_refs": "_state_lock",
+        "_closing": "_state_lock",
+        "_closed": "_state_lock",
+        "_queue": "_queue_lock",
+    }
+
     def __init__(
         self,
         key: str,
@@ -502,6 +513,20 @@ class SamplingService:
         Metrics need no opt-in — the registry always runs.
     """
 
+    #: Lock contract, statically checked by repro-lint (REPRO-L001):
+    #: every registry map lives under the one service lock.  Expensive
+    #: work (artifact opens, graph loads, disk walks) runs *outside*
+    #: it; only the map operations themselves are critical sections.
+    _GUARDED_BY = {
+        "_graphs": "_lock",
+        "_handles": "_lock",
+        "_sessions": "_lock",
+        "_opening": "_lock",
+        "_evict_gen": "_lock",
+        "_update_locks": "_lock",
+        "_disk_usage": "_lock",
+    }
+
     def __init__(
         self,
         artifact_root: str,
@@ -543,26 +568,32 @@ class SamplingService:
         """Register an in-memory host graph (keyed by fingerprint and,
         optionally, a source hint) so artifacts built on it resolve
         without touching disk."""
-        self._graphs[graph.fingerprint()] = graph
-        if source is not None:
-            self._graphs[source] = graph
+        with self._lock:
+            self._graphs[graph.fingerprint()] = graph
+            if source is not None:
+                self._graphs[source] = graph
 
     def _resolve_graph(self, manifest: dict) -> Graph:
         recorded = manifest.get("graph", {})
         fingerprint = recorded.get("fingerprint")
-        if fingerprint in self._graphs:
-            return self._graphs[fingerprint]
+        with self._lock:
+            graph = self._graphs.get(fingerprint)
+        if graph is not None:
+            return graph
         source = recorded.get("source")
         if source is None:
             raise ServeError(
                 "artifact records no graph source hint and its graph was "
                 "not registered via add_graph()"
             )
-        if source not in self._graphs:
-            graph = self._graph_loader(source)
-            self._graphs[source] = graph
-            self._graphs[graph.fingerprint()] = graph
-        return self._graphs[source]
+        with self._lock:
+            graph = self._graphs.get(source)
+        if graph is None:
+            loaded = self._graph_loader(source)  # expensive: not locked
+            with self._lock:
+                graph = self._graphs.setdefault(source, loaded)
+                self._graphs.setdefault(graph.fingerprint(), graph)
+        return graph
 
     # -- handle management ---------------------------------------------
 
@@ -744,7 +775,7 @@ class SamplingService:
         with self._lock:
             state.pins -= 1
 
-    def _prune_sessions_locked(self) -> None:
+    def _prune_sessions_locked(self) -> None:  # repro: holds-lock
         """Drop the oldest idle sessions past ``max_sessions``.
 
         Sessions whose lock is currently held (an in-flight request)

@@ -18,6 +18,7 @@ from repro.telemetry.tracing import JsonLinesSink, Tracer
 __all__ = ["TelemetryConfig", "build_tracer"]
 
 
+# repro: pool-transport
 @dataclass
 class TelemetryConfig:
     """Observability knobs for one pipeline.

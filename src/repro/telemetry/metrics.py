@@ -155,6 +155,15 @@ class MetricsRegistry:
     mapping views — can extend the critical section.
     """
 
+    #: Lock contract, statically checked by repro-lint (REPRO-L001):
+    #: every read/write of these maps happens under ``self.lock``.
+    _GUARDED_BY = {
+        "_counters": "lock",
+        "_timers": "lock",
+        "_gauges": "lock",
+        "_histograms": "lock",
+    }
+
     def __init__(self) -> None:
         self.lock = threading.RLock()
         self._counters: Dict[str, float] = {}

@@ -13,12 +13,18 @@ Usage::
     python tools/bench_report.py            # rewrite BENCHMARKS.md
     python tools/bench_report.py --check    # fail if BENCHMARKS.md is stale
 
-``--check`` is what the CI docs job runs: it regenerates the document in
+``--check`` is what the CI lint job runs: it regenerates the document in
 memory and compares it against the committed file, so the summary can
 never silently drift from the JSON it claims to render.  Unknown
 ``BENCH_*.json`` files (a future PR's) are never an error — they get a
 generic row, so adding a trajectory file does not require touching this
 tool (though a bespoke extractor row reads better).
+
+A *malformed* trajectory file — unreadable, not JSON, not an object,
+or structured so its extractor blows up — is a hard error (exit 1 with
+the offending file named), never a silent skip or a raw traceback: a
+benchmark claim that cannot be rendered should fail CI, not vanish
+from the table.
 """
 
 from __future__ import annotations
@@ -29,7 +35,11 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-OUTPUT = REPO_ROOT / "BENCHMARKS.md"
+OUTPUT_NAME = "BENCHMARKS.md"
+
+
+class BenchReportError(Exception):
+    """A ``BENCH_*.json`` file that cannot be rendered."""
 
 HEADER = """# Benchmark trajectory
 
@@ -202,8 +212,8 @@ def _row_generic(name, p):
             _get(p, "bit_identical"))
 
 
-def render() -> str:
-    files = sorted(REPO_ROOT.glob("BENCH_*.json"))
+def render(root: Path = REPO_ROOT) -> str:
+    files = sorted(root.glob("BENCH_*.json"))
     names = [f.stem for f in files]
     ordered = [n for n in ORDER if n in names] + sorted(
         n for n in names if n not in ORDER
@@ -211,14 +221,32 @@ def render() -> str:
     lines = [HEADER]
     for name in ordered:
         try:
-            payload = json.loads((REPO_ROOT / f"{name}.json").read_text())
-        except (OSError, ValueError) as error:
-            print(f"bench_report: skipping {name}.json: {error}",
-                  file=sys.stderr)
-            continue
+            payload = json.loads((root / f"{name}.json").read_text())
+        except OSError as error:
+            raise BenchReportError(
+                f"cannot read {name}.json: {error}"
+            ) from None
+        except ValueError as error:
+            raise BenchReportError(
+                f"{name}.json is not valid JSON: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise BenchReportError(
+                f"{name}.json must hold a JSON object at top level, "
+                f"got {type(payload).__name__}"
+            )
         extractor = EXTRACTORS.get(name, lambda p: _row_generic(name, p))
-        trajectory, workload, headline, identical = extractor(payload)
-        mark = {True: "yes", False: "**NO**", None: "—"}[identical]
+        try:
+            trajectory, workload, headline, identical = extractor(payload)
+            mark = {True: "yes", False: "**NO**", None: "—"}[identical]
+        except BenchReportError:
+            raise
+        except Exception as error:
+            raise BenchReportError(
+                f"{name}.json does not match the shape its extractor "
+                f"expects ({type(error).__name__}: {error}); fix the file "
+                "or its extractor in tools/bench_report.py"
+            ) from None
         lines.append(
             f"| {trajectory} | {workload} | {headline} | {mark} | "
             f"[`{name}.json`]({name}.json) |\n"
@@ -238,21 +266,31 @@ def main(argv=None) -> int:
         "--check", action="store_true",
         help="exit 1 if BENCHMARKS.md does not match the JSON files",
     )
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT,
+        help="directory holding the BENCH_*.json files and BENCHMARKS.md "
+             "(default: the repository root)",
+    )
     args = parser.parse_args(argv)
-    text = render()
+    output = args.root / OUTPUT_NAME
+    try:
+        text = render(args.root)
+    except BenchReportError as error:
+        print(f"bench_report: error: {error}", file=sys.stderr)
+        return 1
     if args.check:
-        current = OUTPUT.read_text() if OUTPUT.exists() else ""
+        current = output.read_text() if output.exists() else ""
         if current != text:
             print(
-                "bench_report: BENCHMARKS.md is stale — regenerate with "
+                f"bench_report: {OUTPUT_NAME} is stale — regenerate with "
                 "'python tools/bench_report.py'",
                 file=sys.stderr,
             )
             return 1
-        print(f"bench_report: {OUTPUT.name} is up to date")
+        print(f"bench_report: {output.name} is up to date")
         return 0
-    OUTPUT.write_text(text)
-    print(f"bench_report: wrote {OUTPUT}")
+    output.write_text(text)
+    print(f"bench_report: wrote {output}")
     return 0
 
 
